@@ -1,0 +1,143 @@
+// Command svbench regenerates the paper's microbenchmark figures (1, 4, 5,
+// 7a, 7b, 8) plus the hazard-pointer cost ablation, printing each figure as
+// an aligned table (or CSV) of throughput numbers.
+//
+// Usage:
+//
+//	svbench -fig 4 -scale paper
+//	svbench -fig all -scale quick -csv
+//
+// The "paper" scale is the scaled-down reproduction documented in
+// EXPERIMENTS.md; "quick" is a smoke-test setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skipvector/internal/bench"
+	"skipvector/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "svbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, all")
+		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
+		duration = fs.Duration("duration", 0, "override per-trial duration")
+		reps     = fs.Int("reps", 0, "override repetitions per cell")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.QuickScale()
+	case "paper":
+		s = bench.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *duration > 0 {
+		s.Duration = *duration
+	}
+	if *reps > 0 {
+		s.Reps = *reps
+	}
+
+	emit := func(tables ...*bench.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+
+	runFig := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "1":
+			emit(bench.Fig1(s))
+		case "4":
+			ts, err := bench.Fig4(s)
+			if err != nil {
+				return err
+			}
+			emit(ts...)
+		case "5":
+			ts, err := bench.Fig5(s)
+			if err != nil {
+				return err
+			}
+			emit(ts...)
+		case "7a":
+			t, err := bench.Fig7a(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "7b":
+			t, err := bench.Fig7b(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "8":
+			ts, err := bench.Fig8(s)
+			if err != nil {
+				return err
+			}
+			emit(ts...)
+		case "hp":
+			t, err := bench.AblationHazardCost(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "merge":
+			t, err := bench.AblationMergeThreshold(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "mem":
+			emit(bench.MemoryFootprint(s.MixedRangeExps, s.Seed))
+		case "blt":
+			t, err := bench.AblationBLinkTree(s, workload.MixReadHeavy)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt"} {
+			if err := runFig(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runFig(*fig)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "warp"},
+		{"-fig", "99"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunFig1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-fig", "1", "-scale", "quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigMemQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-fig", "mem", "-scale", "quick", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig7bQuickWithOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-fig", "7b", "-scale", "quick", "-duration", "10ms", "-reps", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureListMentionsAllFigures(t *testing.T) {
+	// Guard that the "all" list and the usage string stay in sync with the
+	// figure switch: run each figure name through the dispatcher with an
+	// invalid scale so dispatch is exercised without timing anything.
+	for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt"} {
+		err := run([]string{"-fig", name, "-scale", "nope"})
+		if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+			t.Errorf("fig %s: dispatcher did not reach scale validation: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command svsweep runs one-dimensional parameter sweeps over the skip
+// vector's tunables, printing throughput per setting. It generalizes the
+// Figure 7 sensitivity study to every configuration axis.
+//
+// Usage:
+//
+//	svsweep -param index-size -keybits 20 -threads 4 -mix 80/10/10
+//	svsweep -param merge -mix 0/50/50
+//	svsweep -param data-size -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"skipvector/internal/bench"
+	"skipvector/internal/core"
+	"skipvector/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "svsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("svsweep", flag.ContinueOnError)
+	var (
+		param    = fs.String("param", "index-size", "axis: index-size, data-size, merge, layers, sortedness")
+		keybits  = fs.Int("keybits", 20, "key-range exponent")
+		threads  = fs.Int("threads", 4, "worker goroutines")
+		mixStr   = fs.String("mix", "80/10/10", "lookup/insert/remove percentages")
+		duration = fs.Duration("duration", time.Second, "per-trial duration")
+		reps     = fs.Int("reps", 3, "repetitions per cell")
+		csv      = fs.Bool("csv", false, "emit CSV")
+		seed     = fs.Uint64("seed", 0x5eed, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	keyRange := bench.Pow2(*keybits)
+	trial := bench.TrialConfig{
+		Threads:  *threads,
+		Duration: *duration,
+		KeyRange: keyRange,
+		Mix:      mix,
+		Seed:     *seed,
+	}
+
+	type point struct {
+		label string
+		mut   func(*core.Config)
+	}
+	var points []point
+	switch *param {
+	case "index-size":
+		for _, ti := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+			ti := ti
+			points = append(points, point{strconv.Itoa(ti), func(c *core.Config) {
+				c.TargetIndexVectorSize = ti
+			}})
+		}
+	case "data-size":
+		for _, td := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+			td := td
+			points = append(points, point{strconv.Itoa(td), func(c *core.Config) {
+				c.TargetDataVectorSize = td
+			}})
+		}
+	case "merge":
+		for _, f := range []float64{0.5, 1.0, 1.33, 1.67, 2.0} {
+			f := f
+			points = append(points, point{fmt.Sprintf("%.2f", f), func(c *core.Config) {
+				c.MergeFactor = f
+			}})
+		}
+	case "layers":
+		for _, l := range []int{2, 3, 4, 5, 6, 8, 10} {
+			l := l
+			points = append(points, point{strconv.Itoa(l), func(c *core.Config) {
+				c.LayerCount = l
+			}})
+		}
+	case "sortedness":
+		combos := []struct {
+			label    string
+			idx, dat bool
+		}{
+			{"idx-sorted/data-unsorted", true, false},
+			{"idx-sorted/data-sorted", true, true},
+			{"idx-unsorted/data-unsorted", false, false},
+			{"idx-unsorted/data-sorted", false, true},
+		}
+		for _, c := range combos {
+			c := c
+			points = append(points, point{c.label, func(cfg *core.Config) {
+				cfg.SortedIndex = c.idx
+				cfg.SortedData = c.dat
+			}})
+		}
+	default:
+		return fmt.Errorf("unknown param %q", *param)
+	}
+
+	t := bench.NewTable(
+		fmt.Sprintf("sweep %s: %s mix, 2^%d keys, %d threads", *param, mix, *keybits, *threads),
+		*param, []string{"SV-HP"})
+	for _, p := range points {
+		p := p
+		v := bench.Variant{Name: "SV-HP-" + p.label, New: func(r int64) bench.IntMap {
+			cfg := core.DefaultConfig()
+			cfg.LayerCount = bench.MinLayers(r/2, cfg.TargetDataVectorSize, cfg.TargetIndexVectorSize)
+			if cfg.LayerCount < 2 {
+				cfg.LayerCount = 2
+			}
+			p.mut(&cfg)
+			return bench.NewSkipVector(cfg)
+		}}
+		tp, err := bench.RunAveraged(v, trial, *reps)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.label, []float64{tp})
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.Render())
+	}
+	return nil
+}
+
+func parseMix(s string) (workload.Mix, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return workload.Mix{}, fmt.Errorf("mix %q: want lookup/insert/remove", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return workload.Mix{}, err
+		}
+		vals[i] = n
+	}
+	m := workload.Mix{LookupPct: vals[0], InsertPct: vals[1], RemovePct: vals[2]}
+	return m, m.Validate()
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"skipvector/internal/workload"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("80/10/10")
+	if err != nil || m != (workload.Mix{LookupPct: 80, InsertPct: 10, RemovePct: 10}) {
+		t.Fatalf("parseMix = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"80/10", "80/10/20", "a/b/c", "80/10/10/0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-param", "nonsense"},
+		{"-mix", "50/50"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSortednessSweepTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{
+		"-param", "sortedness", "-keybits", "10", "-threads", "1",
+		"-duration", "10ms", "-reps", "1", "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMergeSweepTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{
+		"-param", "merge", "-keybits", "10", "-threads", "1",
+		"-duration", "10ms", "-reps", "1", "-mix", "0/50/50",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

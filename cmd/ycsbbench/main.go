@@ -1,0 +1,96 @@
+// Command ycsbbench regenerates Figure 6: YCSB transaction throughput on
+// the mini-DBx1000 engine with the skip vector (SV-HP), unrolled skip list
+// (USL-HP) and plain skip list (SL-HP) as the primary index.
+//
+// Usage:
+//
+//	ycsbbench -rows 1048576 -txns 10000 -thetas 0.1,0.6,0.9 -threads 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"skipvector/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ycsbbench", flag.ContinueOnError)
+	var (
+		rows    = fs.Int64("rows", 1<<20, "table size in rows")
+		txns    = fs.Int("txns", 10_000, "transactions per thread")
+		thetas  = fs.String("thetas", "0.1,0.6,0.9", "comma-separated Zipfian thetas")
+		threads = fs.String("threads", "1,2,4,8", "comma-separated thread counts")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed    = fs.Uint64("seed", 0xdb1000, "workload seed")
+		scanPct = fs.Int("scanpct", 0, "percent of accesses that are scans (YCSB-E style, carved out of reads)")
+		scanLen = fs.Int("scanlen", 16, "rows per scan access")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := bench.PaperScale()
+	s.YCSBRows = *rows
+	s.YCSBTxns = *txns
+	s.Seed = *seed
+	s.YCSBScanPct = *scanPct
+	s.YCSBScanLen = *scanLen
+
+	var err error
+	if s.YCSBThetas, err = parseFloats(*thetas); err != nil {
+		return fmt.Errorf("-thetas: %w", err)
+	}
+	if s.YCSBThreads, err = parseInts(*threads); err != nil {
+		return fmt.Errorf("-threads: %w", err)
+	}
+
+	tables, err := bench.Fig6(s)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseHelpers(t *testing.T) {
+	fs, err := parseFloats("0.1, 0.6,0.9")
+	if err != nil || len(fs) != 3 || fs[1] != 0.6 {
+		t.Fatalf("parseFloats = %v, %v", fs, err)
+	}
+	if _, err := parseFloats("0.1,x"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	is, err := parseInts("1, 2,8")
+	if err != nil || len(is) != 3 || is[2] != 8 {
+		t.Fatalf("parseInts = %v, %v", is, err)
+	}
+	if _, err := parseInts("1,two"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-thetas", "abc"},
+		{"-threads", "x"},
+		{"-bogus"},
+		{"-rows", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-rows", "4096", "-txns", "100", "-thetas", "0.5", "-threads", "1,2", "-csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

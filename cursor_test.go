@@ -1,0 +1,161 @@
+package skipvector
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCursorFullScan(t *testing.T) {
+	m := New[int64]()
+	for k := int64(0); k < 100; k += 5 {
+		m.Insert(k, k*2)
+	}
+	c := m.Cursor(MinKey + 1)
+	var got []int64
+	for {
+		k, v, ok := c.Next()
+		if !ok {
+			break
+		}
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+	}
+	if len(got) != 20 {
+		t.Fatalf("scanned %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("cursor not ascending")
+		}
+	}
+	// Exhausted cursor stays exhausted.
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("exhausted cursor yielded a key")
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	m := New[int]()
+	for k := int64(0); k < 50; k++ {
+		m.Insert(k, int(k))
+	}
+	c := m.Cursor(40)
+	if k, _, ok := c.Next(); !ok || k != 40 {
+		t.Fatalf("first = %d,%t", k, ok)
+	}
+	c.SeekTo(10)
+	if k, _, ok := c.Next(); !ok || k != 10 {
+		t.Fatalf("after seek = %d,%t", k, ok)
+	}
+	c.SeekTo(1000)
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("seek past end should exhaust")
+	}
+	c.SeekTo(0)
+	if k, _, ok := c.Next(); !ok || k != 0 {
+		t.Fatal("re-seek after exhaustion failed")
+	}
+}
+
+func TestCursorSkipsRemovedSeesAhead(t *testing.T) {
+	m := New[int]()
+	for k := int64(0); k < 10; k++ {
+		m.Insert(k, 0)
+	}
+	c := m.Cursor(0)
+	k, _, _ := c.Next() // 0
+	if k != 0 {
+		t.Fatalf("first = %d", k)
+	}
+	m.Remove(1)
+	m.Remove(2)
+	m.Insert(100, 0) // ahead of the cursor
+	var rest []int64
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		rest = append(rest, k)
+	}
+	want := []int64{3, 4, 5, 6, 7, 8, 9, 100}
+	if len(rest) != len(want) {
+		t.Fatalf("rest = %v", rest)
+	}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Fatalf("rest = %v, want %v", rest, want)
+		}
+	}
+}
+
+func TestCursorEdgeKeys(t *testing.T) {
+	m := New[int]()
+	m.Insert(MinKey+1, 1)
+	m.Insert(MaxKey-1, 2)
+	c := m.Cursor(MinKey + 1)
+	k1, _, ok1 := c.Next()
+	k2, _, ok2 := c.Next()
+	_, _, ok3 := c.Next()
+	if !ok1 || k1 != MinKey+1 || !ok2 || k2 != MaxKey-1 || ok3 {
+		t.Fatalf("edge scan = (%d,%t) (%d,%t) (%t)", k1, ok1, k2, ok2, ok3)
+	}
+}
+
+// TestCursorUnderConcurrentChurn verifies a cursor makes monotone progress
+// and only ever reports stable keys while churn happens around it.
+func TestCursorUnderConcurrentChurn(t *testing.T) {
+	m := New[int64]()
+	const stableStep = 10
+	for k := int64(0); k <= 5000; k += stableStep {
+		m.Insert(k, k)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30000; i++ {
+			k := int64(i%5000) + 1
+			if k%stableStep == 0 {
+				k++
+			}
+			if i%2 == 0 {
+				m.Insert(k, k)
+			} else {
+				m.Remove(k)
+			}
+		}
+		close(stop)
+	}()
+	c := m.Cursor(0)
+	prev := int64(-1)
+	n := 0
+	for {
+		k, v, ok := c.Next()
+		if !ok {
+			c.SeekTo(0)
+			prev = -1
+			select {
+			case <-stop:
+				wg.Wait()
+				if n == 0 {
+					t.Fatal("cursor never scanned anything")
+				}
+				return
+			default:
+				continue
+			}
+		}
+		if k <= prev {
+			t.Fatalf("cursor went backwards: %d after %d", k, prev)
+		}
+		if v != k {
+			t.Fatalf("corrupt value %d at %d", v, k)
+		}
+		prev = k
+		n++
+	}
+}

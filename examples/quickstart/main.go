@@ -1,0 +1,82 @@
+// Quickstart: the smallest useful tour of the skipvector API — point
+// operations, ordered iteration, linearizable range queries, and the
+// concurrency that makes the structure interesting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"skipvector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A map from int64 keys to any value type. Defaults follow the paper:
+	// 6 layers, 32-entry chunks, sorted index / unsorted data vectors,
+	// hazard-pointer reclamation.
+	m := skipvector.New[string]()
+
+	// Point operations.
+	m.Insert(30, "thirty")
+	m.Insert(10, "ten")
+	m.Insert(20, "twenty")
+	if v, ok := m.Lookup(20); ok {
+		fmt.Println("lookup(20) =", v)
+	}
+	if !m.Insert(10, "TEN") {
+		fmt.Println("insert(10) correctly refused: key exists (use Upsert to overwrite)")
+	}
+	m.Upsert(10, "TEN")
+
+	// Ordered iteration — the reason to use an ordered map at all.
+	fmt.Println("ascending contents:")
+	m.Ascend(func(k int64, v string) bool {
+		fmt.Printf("  %d -> %s\n", k, v)
+		return true
+	})
+
+	// Linearizable range query: one atomic observation of [10,25].
+	fmt.Println("range [10,25]:")
+	m.RangeQuery(10, 25, func(k int64, v string) bool {
+		fmt.Printf("  %d -> %s\n", k, v)
+		return true
+	})
+
+	// Concurrency: the whole point. Hammer the map from several goroutines;
+	// every operation is atomic and the structure stays consistent.
+	counts := skipvector.New[int64](
+		skipvector.WithTargetDataVectorSize(16),
+		skipvector.WithSeed(42),
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				counts.Insert(base*1000+i, i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	fmt.Println("concurrent inserts landed:", counts.Len())
+
+	// A mutating range update is a single serializable transaction.
+	updated := counts.RangeUpdate(0, 499, func(k int64, v int64) int64 {
+		return v + 1_000_000
+	})
+	fmt.Println("range-updated", updated, "values atomically")
+
+	if err := counts.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariants: %w", err)
+	}
+	fmt.Println("structure verified")
+	return nil
+}

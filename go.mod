@@ -1,0 +1,3 @@
+module skipvector
+
+go 1.24

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MemoryFootprint measures live bytes per element for each variant after a
+// half-full prefill at the given key range — the quantitative face of the
+// paper's memory observations (Section V-A: the competitors ran out of
+// memory at 2^31 keys while the skip vector completed up to 2^35; chunking
+// amortizes per-node overheads across T elements).
+//
+// The measurement forces a full GC before and after construction and reads
+// HeapAlloc, so it reflects live structure size, not allocation churn.
+func MemoryFootprint(keyRangeExps []int, seed uint64) *Table {
+	variants := ScalabilityVariants()
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.Name
+	}
+	t := NewTable("Memory: live bytes per element after half-range prefill", "key-bits", cols)
+	for _, exp := range keyRangeExps {
+		keyRange := Pow2(exp)
+		row := make([]float64, len(variants))
+		for i, v := range variants {
+			row[i] = bytesPerElement(v, keyRange, seed)
+		}
+		t.AddRow(fmt.Sprintf("2^%d", exp), row)
+	}
+	return t
+}
+
+// bytesPerElement builds one structure and reports its live heap cost per
+// contained element.
+func bytesPerElement(v Variant, keyRange int64, seed uint64) float64 {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	m := v.New(keyRange)
+	Prefill(m, keyRange, seed, 1)
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	n := m.Len()
+	if n == 0 {
+		return 0
+	}
+	delta := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	if delta < 0 {
+		delta = 0
+	}
+	perElem := delta / float64(n)
+	runtime.KeepAlive(m)
+	return perElem
+}
+
+// MemoryChurnGarbage measures the bounded-garbage property: after a heavy
+// insert/remove churn, how many retired-but-unreclaimed nodes remain for
+// the HP variant (bounded) versus how much extra heap the Leak variant has
+// accumulated. Returns (hpRetiredNodes, hpHeapMB, leakHeapMB).
+func MemoryChurnGarbage(keyRange int64, churnOps int, seed uint64) (int64, float64, float64) {
+	measure := func(v Variant) (int64, float64) {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		m := v.New(keyRange)
+		// Churn: repeatedly fill and drain a window so nodes retire.
+		for i := 0; i < churnOps; i++ {
+			k := int64(i) % keyRange
+			m.Insert(k, uint64(k))
+			m.Remove(k)
+		}
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		var retired int64
+		if sv, ok := m.(*svMap); ok {
+			retired = sv.Stats().Retired
+		}
+		heapMB := (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / (1 << 20)
+		if heapMB < 0 {
+			heapMB = 0
+		}
+		runtime.KeepAlive(m)
+		return retired, heapMB
+	}
+	retired, hpMB := measure(SVHP)
+	_, leakMB := measure(SVLeak)
+	return retired, hpMB, leakMB
+}

@@ -1,0 +1,364 @@
+package blink
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func vp(x int64) *int64 { return &x }
+
+func TestBasicOps(t *testing.T) {
+	tr := New[int64]()
+	if tr.Contains(5) {
+		t.Fatal("empty tree contains 5")
+	}
+	if !tr.Insert(5, vp(50)) || tr.Insert(5, vp(51)) {
+		t.Fatal("Insert semantics")
+	}
+	if v, ok := tr.Lookup(5); !ok || *v != 50 {
+		t.Fatalf("Lookup = %v,%t", v, ok)
+	}
+	if !tr.Remove(5) || tr.Remove(5) {
+		t.Fatal("Remove semantics")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitsAndGrowth(t *testing.T) {
+	tr := New[int64]()
+	const n = 10000
+	for k := int64(0); k < n; k++ {
+		if !tr.Insert(k, vp(k)) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height %d after %d ascending inserts", tr.Height(), n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < n; k += 97 {
+		if v, ok := tr.Lookup(k); !ok || *v != k {
+			t.Fatalf("Lookup(%d) failed", k)
+		}
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("Keys len %d", len(keys))
+	}
+	for i := range keys {
+		if keys[i] != int64(i) {
+			t.Fatalf("keys[%d] = %d", i, keys[i])
+		}
+	}
+}
+
+func TestDescendingInserts(t *testing.T) {
+	tr := New[int64]()
+	for k := int64(5000); k > 0; k-- {
+		tr.Insert(k, vp(k))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := tr.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("keys out of order")
+		}
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	tr := New[int64]()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 8000; i++ {
+		k := int64(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			_, had := model[k]
+			if tr.Insert(k, vp(k+1)) == had {
+				t.Fatalf("op %d Insert(%d) mismatch", i, k)
+			}
+			if !had {
+				model[k] = k + 1
+			}
+		case 1:
+			_, had := model[k]
+			if tr.Remove(k) != had {
+				t.Fatalf("op %d Remove(%d) mismatch", i, k)
+			}
+			delete(model, k)
+		default:
+			v, ok := tr.Lookup(k)
+			mv, had := model[k]
+			if ok != had || (ok && *v != mv) {
+				t.Fatalf("op %d Lookup(%d) mismatch", i, k)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d Len=%d model=%d", i, tr.Len(), len(model))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	tr := New[int64]()
+	for k := int64(0); k < 2000; k += 2 {
+		tr.Insert(k, vp(k))
+	}
+	var got []int64
+	tr.RangeQuery(100, 200, func(k int64, v *int64) bool {
+		if *v != k {
+			t.Fatalf("payload mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("range saw %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+2 {
+			t.Fatalf("range = %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.RangeQuery(0, 4000, func(int64, *int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New[int64]()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 1500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				if !tr.Insert(base+i, vp(base+i)) {
+					t.Errorf("Insert(%d) failed", base+i)
+					return
+				}
+			}
+			for i := int64(0); i < perG; i += 2 {
+				if !tr.Remove(base + i) {
+					t.Errorf("Remove(%d) failed", base+i)
+					return
+				}
+			}
+			for i := int64(1); i < perG; i += 2 {
+				if v, ok := tr.Lookup(base + i); !ok || *v != base+i {
+					t.Errorf("Lookup(%d) failed", base+i)
+					return
+				}
+			}
+		}(int64(g) * 100_000)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if want := goroutines * perG / 2; tr.Len() != want {
+		t.Fatalf("Len = %d want %d", tr.Len(), want)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSharedAccounting(t *testing.T) {
+	tr := New[int64]()
+	const keySpace = 128
+	var inserts, removes [keySpace]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := int64(rng.Intn(keySpace))
+				switch rng.Intn(3) {
+				case 0:
+					if tr.Insert(k, vp(k)) {
+						inserts[k].Add(1)
+					}
+				case 1:
+					if tr.Remove(k) {
+						removes[k].Add(1)
+					}
+				default:
+					if v, ok := tr.Lookup(k); ok && *v != k {
+						t.Errorf("corrupt value at %d", k)
+						return
+					}
+				}
+			}
+		}(int64(g) + 3)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k := 0; k < keySpace; k++ {
+		diff := inserts[k].Load() - removes[k].Load()
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d diff %d", k, diff)
+		}
+		if present := tr.Contains(int64(k)); present != (diff == 1) {
+			t.Fatalf("key %d present=%t diff=%d", k, present, diff)
+		}
+		if diff == 1 {
+			total++
+		}
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len=%d want %d", tr.Len(), total)
+	}
+}
+
+func TestConcurrentInsertRace(t *testing.T) {
+	tr := New[int64]()
+	const keys = 500
+	var wins [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				if tr.Insert(k, vp(k)) {
+					wins[k].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if wins[k].Load() != 1 {
+			t.Fatalf("key %d won %d times", k, wins[k].Load())
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int64]()
+		model := map[int64]bool{}
+		for i := 0; i < 600; i++ {
+			k := int64(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				if tr.Insert(k, vp(k)) == model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if tr.Remove(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if tr.Contains(k) != model[k] {
+					return false
+				}
+			}
+		}
+		return tr.CheckInvariants() == nil && tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelKeysPanic(t *testing.T) {
+	tr := New[int64]()
+	for _, k := range []int64{minKey, maxKey} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("key %d accepted", k)
+				}
+			}()
+			tr.Insert(k, vp(0))
+		}()
+	}
+}
+
+// TestLazyDeletionKeepsWorking empties and refills the tree several times;
+// since deletion never merges nodes, the structure accumulates empty leaves
+// and must still route correctly through them.
+func TestLazyDeletionKeepsWorking(t *testing.T) {
+	tr := New[int64]()
+	for cycle := 0; cycle < 4; cycle++ {
+		for k := int64(0); k < 3000; k++ {
+			if !tr.Insert(k, vp(k)) {
+				t.Fatalf("cycle %d: Insert(%d) failed", cycle, k)
+			}
+		}
+		for k := int64(0); k < 3000; k++ {
+			if !tr.Remove(k) {
+				t.Fatalf("cycle %d: Remove(%d) failed", cycle, k)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("cycle %d: Len = %d", cycle, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+func BenchmarkTreeOps(b *testing.B) {
+	tr := New[int64]()
+	const keyRange = 1 << 18
+	for k := int64(0); k < keyRange; k += 2 {
+		tr.Insert(k, vp(k))
+	}
+	b.Run("Lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Lookup(int64(i*7) % keyRange)
+		}
+	})
+	b.Run("InsertRemove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := int64(i*7)%keyRange | 1 // odd keys: initially absent
+			if i%2 == 0 {
+				tr.Insert(k, vp(k))
+			} else {
+				tr.Remove(k)
+			}
+		}
+	})
+}

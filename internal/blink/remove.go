@@ -1,0 +1,201 @@
+package blink
+
+import "fmt"
+
+// Remove deletes k, returning false if absent. Deletion is leaf-local and
+// lazy (no merging), the common production B-link simplification; the
+// structure never shrinks, mirroring how the skip vector defers orphan
+// cleanup to later operations.
+func (t *Tree[V]) Remove(k int64) bool {
+	checkKey(k)
+	for {
+		leaf, ok := t.lockLeaf(k)
+		if !ok {
+			continue
+		}
+		s := int(leaf.size.Load())
+		i := leaf.search(k, s)
+		if i >= s || leaf.keys[i].Load() != k {
+			leaf.lock.Abort()
+			return false
+		}
+		for j := i; j < s-1; j++ {
+			leaf.keys[j].Store(leaf.keys[j+1].Load())
+			leaf.vals[j].Store(leaf.vals[j+1].Load())
+		}
+		leaf.vals[s-1].Store(nil)
+		leaf.size.Store(int32(s - 1))
+		leaf.lock.Release()
+		t.length.Add(-1)
+		return true
+	}
+}
+
+// RangeQuery calls fn for keys in [lo,hi] in ascending order. Each leaf is
+// read under an optimistic snapshot and validated, so per-leaf results are
+// consistent, but the scan as a whole is not linearizable (matching the
+// FSL baseline's weaker range semantics rather than the skip vector's
+// locked ranges).
+func (t *Tree[V]) RangeQuery(lo, hi int64, fn func(k int64, v *V) bool) {
+	if lo > hi {
+		return
+	}
+	checkKey(lo)
+	type pair struct {
+		k int64
+		v *V
+	}
+	curr, ok := t.findLeaf(lo)
+	if !ok {
+		t.RangeQuery(lo, hi, fn) // retry
+		return
+	}
+	buf := make([]pair, 0, Fanout)
+	for curr != nil {
+		// Snapshot one leaf.
+		for {
+			ver, ok := curr.lock.ReadVersion()
+			if !ok {
+				continue
+			}
+			buf = buf[:0]
+			s := curr.snapshotSize()
+			for i := 0; i < s; i++ {
+				k := curr.keys[i].Load()
+				if k >= lo && k <= hi {
+					buf = append(buf, pair{k: k, v: curr.vals[i].Load()})
+				}
+			}
+			next := curr.next.Load()
+			high := curr.highKey.Load()
+			if !curr.lock.Validate(ver) {
+				continue
+			}
+			for _, p := range buf {
+				if !fn(p.k, p.v) {
+					return
+				}
+			}
+			if high > hi {
+				return
+			}
+			curr = next
+			break
+		}
+	}
+}
+
+// findLeaf descends optimistically to the leaf owning k (read-only).
+func (t *Tree[V]) findLeaf(k int64) (*node[V], bool) {
+	curr := t.root.Load()
+	ver, ok := curr.lock.ReadVersion()
+	if !ok {
+		return nil, false
+	}
+	for {
+		for k >= curr.highKey.Load() {
+			next := curr.next.Load()
+			if next == nil {
+				return nil, false
+			}
+			nv, ok2 := next.lock.ReadVersion()
+			if !ok2 || !curr.lock.Validate(ver) {
+				return nil, false
+			}
+			curr, ver = next, nv
+		}
+		if curr.leaf {
+			if !curr.lock.Validate(ver) {
+				return nil, false
+			}
+			return curr, true
+		}
+		child := curr.childFor(k, curr.snapshotSize())
+		if child == nil {
+			return nil, false
+		}
+		cv, ok2 := child.lock.ReadVersion()
+		if !ok2 || !curr.lock.Validate(ver) {
+			return nil, false
+		}
+		curr, ver = child, cv
+	}
+}
+
+// Keys returns all keys in ascending order (quiescent use: tests).
+func (t *Tree[V]) Keys() []int64 {
+	var out []int64
+	// Walk down the leftmost spine, then right along the leaf chain.
+	curr := t.root.Load()
+	for !curr.leaf {
+		curr = curr.kids[0].Load()
+	}
+	for curr != nil {
+		s := curr.snapshotSize()
+		for i := 0; i < s; i++ {
+			out = append(out, curr.keys[i].Load())
+		}
+		curr = curr.next.Load()
+	}
+	return out
+}
+
+// Height returns the current tree height (leaf = 1).
+func (t *Tree[V]) Height() int { return int(t.height.Load()) }
+
+// CheckInvariants validates the structure in a quiescent state: sorted
+// unique keys globally, in-node sortedness, fences consistent with
+// content, child separators consistent, and every leaf reachable from the
+// leftmost spine.
+func (t *Tree[V]) CheckInvariants() error {
+	return t.checkNode(t.root.Load(), minKey, maxKey)
+}
+
+func (t *Tree[V]) checkNode(n *node[V], low, high int64) error {
+	s := int(n.size.Load())
+	if s < 0 || s > Fanout {
+		return errf("size %d out of range", s)
+	}
+	if n.highKey.Load() > high {
+		// A node's fence may be tighter than its ancestors' but not wider.
+		return errf("fence %d wider than bound %d", n.highKey.Load(), high)
+	}
+	prev := low
+	for i := 0; i < s; i++ {
+		k := n.keys[i].Load()
+		if i == 0 {
+			if k < low {
+				return errf("key %d below low bound %d", k, low)
+			}
+		} else if k <= prev {
+			return errf("keys out of order: %d after %d", k, prev)
+		}
+		if k >= n.highKey.Load() {
+			return errf("key %d >= fence %d", k, n.highKey.Load())
+		}
+		prev = k
+	}
+	if n.leaf {
+		return nil
+	}
+	childLow := low
+	for i := 0; i <= s; i++ {
+		c := n.kids[i].Load()
+		if c == nil {
+			return errf("nil child %d of interior node", i)
+		}
+		childHigh := n.highKey.Load()
+		if i < s {
+			childHigh = n.keys[i].Load()
+		}
+		if err := t.checkNode(c, childLow, childHigh); err != nil {
+			return err
+		}
+		childLow = childHigh
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("blink: "+format, args...)
+}

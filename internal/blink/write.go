@@ -1,0 +1,244 @@
+package blink
+
+// Insert adds k→v, returning false if k is already present.
+func (t *Tree[V]) Insert(k int64, v *V) bool {
+	checkKey(k)
+	for {
+		leaf, ok := t.lockLeaf(k)
+		if !ok {
+			continue
+		}
+		s := int(leaf.size.Load())
+		i := leaf.search(k, s)
+		if i < s && leaf.keys[i].Load() == k {
+			leaf.lock.Abort()
+			return false
+		}
+		if s < Fanout {
+			for j := s; j > i; j-- {
+				leaf.keys[j].Store(leaf.keys[j-1].Load())
+				leaf.vals[j].Store(leaf.vals[j-1].Load())
+			}
+			leaf.keys[i].Store(k)
+			leaf.vals[i].Store(v)
+			leaf.size.Store(int32(s + 1))
+			leaf.lock.Release()
+			t.length.Add(1)
+			return true
+		}
+		// Overflow: split the leaf and insert into the proper half, then
+		// propagate the separator upward.
+		sib := newNode[V](true, 0)
+		half := Fanout / 2
+		for j := half; j < Fanout; j++ {
+			sib.keys[j-half].Store(leaf.keys[j].Load())
+			sib.vals[j-half].Store(leaf.vals[j].Load())
+			leaf.vals[j].Store(nil)
+		}
+		sib.size.Store(int32(Fanout - half))
+		leaf.size.Store(int32(half))
+		sep := sib.keys[0].Load()
+		sib.highKey.Store(leaf.highKey.Load())
+		sib.next.Store(leaf.next.Load())
+		// Insert k into the correct side while sib is still private (and
+		// the leaf still locked).
+		target := leaf
+		if k >= sep {
+			target = sib
+		}
+		ts := int(target.size.Load())
+		ti := target.search(k, ts)
+		for j := ts; j > ti; j-- {
+			target.keys[j].Store(target.keys[j-1].Load())
+			target.vals[j].Store(target.vals[j-1].Load())
+		}
+		target.keys[ti].Store(k)
+		target.vals[ti].Store(v)
+		target.size.Store(int32(ts + 1))
+		// Publish: link sib, shrink leaf's fence, release.
+		leaf.next.Store(sib)
+		leaf.highKey.Store(sep)
+		leaf.lock.Release()
+		t.length.Add(1)
+		t.propagate(leaf, sep, sib)
+		return true
+	}
+}
+
+// lockLeaf descends optimistically to the leaf owning k and write-locks it.
+// ok=false requests a full retry.
+func (t *Tree[V]) lockLeaf(k int64) (*node[V], bool) {
+	curr := t.root.Load()
+	ver, ok := curr.lock.ReadVersion()
+	if !ok {
+		return nil, false
+	}
+	for {
+		for k >= curr.highKey.Load() {
+			next := curr.next.Load()
+			if next == nil {
+				return nil, false
+			}
+			nv, ok2 := next.lock.ReadVersion()
+			if !ok2 || !curr.lock.Validate(ver) {
+				return nil, false
+			}
+			curr, ver = next, nv
+		}
+		if curr.leaf {
+			if !curr.lock.TryUpgrade(ver) {
+				return nil, false
+			}
+			return curr, true
+		}
+		child := curr.childFor(k, curr.snapshotSize())
+		if child == nil {
+			return nil, false
+		}
+		cv, ok2 := child.lock.ReadVersion()
+		if !ok2 || !curr.lock.Validate(ver) {
+			return nil, false
+		}
+		curr, ver = child, cv
+	}
+}
+
+// propagate inserts the separator (sep → right) into the parent level of
+// the freshly split node left, splitting upward recursively and growing the
+// root as needed. No locks are held on entry (Lehman-Yao: children are
+// released before parents are locked, so writers hold one lock at a time).
+func (t *Tree[V]) propagate(left *node[V], sep int64, right *node[V]) {
+	for {
+		parent, grewRoot := t.lockParentOf(left, sep, right)
+		if grewRoot {
+			return // left was the root; a new root now holds the separator
+		}
+		if parent == nil {
+			continue // interference; retry
+		}
+		s := int(parent.size.Load())
+		i := parent.search(sep, s)
+		if s < Fanout {
+			for j := s; j > i; j-- {
+				parent.keys[j].Store(parent.keys[j-1].Load())
+			}
+			for j := s + 1; j > i+1; j-- {
+				parent.kids[j].Store(parent.kids[j-1].Load())
+			}
+			parent.keys[i].Store(sep)
+			parent.kids[i+1].Store(right)
+			parent.size.Store(int32(s + 1))
+			parent.lock.Release()
+			return
+		}
+		// Parent full: split it, then continue propagating one level up.
+		sib := newNode[V](false, parent.level)
+		half := Fanout / 2
+		// Separator promoted out of the interior node (classic B+ interior
+		// split): keys[half] moves up, keys[half+1:] and kids[half+1:] move
+		// to sib.
+		promoted := parent.keys[half].Load()
+		n := 0
+		for j := half + 1; j < Fanout; j++ {
+			sib.keys[n].Store(parent.keys[j].Load())
+			n++
+		}
+		kn := 0
+		for j := half + 1; j <= Fanout; j++ {
+			sib.kids[kn].Store(parent.kids[j].Load())
+			parent.kids[j].Store(nil)
+			kn++
+		}
+		sib.size.Store(int32(n))
+		sib.highKey.Store(parent.highKey.Load())
+		sib.next.Store(parent.next.Load())
+		parent.size.Store(int32(half))
+
+		// Insert (sep,right) into the correct half while sib is private.
+		target := parent
+		if sep >= promoted {
+			target = sib
+		}
+		ts := int(target.size.Load())
+		ti := target.search(sep, ts)
+		for j := ts; j > ti; j-- {
+			target.keys[j].Store(target.keys[j-1].Load())
+		}
+		for j := ts + 1; j > ti+1; j-- {
+			target.kids[j].Store(target.kids[j-1].Load())
+		}
+		target.keys[ti].Store(sep)
+		target.kids[ti+1].Store(right)
+		target.size.Store(int32(ts + 1))
+
+		parent.next.Store(sib)
+		parent.highKey.Store(promoted)
+		parent.lock.Release()
+
+		left, sep, right = parent, promoted, sib
+	}
+}
+
+// lockParentOf locks the node one level above child that should receive a
+// separator ≥ child's low bound. If child is the root, it grows the tree
+// (installing a new root that already contains the separator) and reports
+// grewRoot=true. Returns (nil, false) on interference.
+func (t *Tree[V]) lockParentOf(child *node[V], sep int64, right *node[V]) (*node[V], bool) {
+	t.rootMu.Lock()
+	root := t.root.Load()
+	if root == child {
+		// Grow: new root over child and the sibling this caller split off.
+		// Even if child has been split again meanwhile, (sep, right) is
+		// still a correct first separator; later separators are propagated
+		// into this new root by their own writers.
+		nr := newNode[V](false, child.level+1)
+		nr.keys[0].Store(sep)
+		nr.kids[0].Store(child)
+		nr.kids[1].Store(right)
+		nr.size.Store(1)
+		t.root.Store(nr)
+		t.height.Add(1)
+		t.rootMu.Unlock()
+		return nil, true
+	}
+	t.rootMu.Unlock()
+
+	// Descend from the root to the level just above child, steering by
+	// sep; then lock and move right until sep < highKey.
+	curr := root
+	ver, ok := curr.lock.ReadVersion()
+	if !ok {
+		return nil, false
+	}
+	for {
+		for sep >= curr.highKey.Load() {
+			next := curr.next.Load()
+			if next == nil {
+				return nil, false
+			}
+			nv, ok2 := next.lock.ReadVersion()
+			if !ok2 || !curr.lock.Validate(ver) {
+				return nil, false
+			}
+			curr, ver = next, nv
+		}
+		if curr.level == child.level+1 {
+			if !curr.lock.TryUpgrade(ver) {
+				return nil, false
+			}
+			return curr, false
+		}
+		if curr.leaf || curr.level <= child.level {
+			return nil, false // tree changed shape under us; retry
+		}
+		grand := curr.childFor(sep, curr.snapshotSize())
+		if grand == nil {
+			return nil, false
+		}
+		gv, ok2 := grand.lock.ReadVersion()
+		if !ok2 || !curr.lock.Validate(ver) {
+			return nil, false
+		}
+		curr, ver = grand, gv
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BulkLoad constructs a skip vector from pre-sorted data in O(n) time with
+// perfectly packed chunks — the ordered-map analogue of B+-tree bulk
+// loading, and the fast path database index builds want (the paper's
+// future-work direction of using the skip vector as a database index). Keys
+// must be strictly ascending and within (MinKey, MaxKey); vals must be the
+// same length as keys (vals may be nil to load all-nil values).
+//
+// Every chunk is filled to exactly its target size, so the loaded structure
+// matches the steady-state shape the height distribution would converge to,
+// and every node at layer L>0 gets a parent entry except at the top layer,
+// where non-head nodes are marked orphans (the invariant normal operation
+// maintains; lazy merging will coalesce them if the top layer is overfull
+// for the configured LayerCount).
+func BulkLoad[V any](cfg Config, keys []int64, vals []*V) (*Map[V], error) {
+	if vals != nil && len(vals) != len(keys) {
+		return nil, fmt.Errorf("core: BulkLoad with %d keys but %d values", len(keys), len(vals))
+	}
+	for i, k := range keys {
+		if k == MinKey || k == MaxKey {
+			return nil, fmt.Errorf("core: BulkLoad key %d is a sentinel", k)
+		}
+		if i > 0 && keys[i-1] >= k {
+			return nil, fmt.Errorf("core: BulkLoad keys not strictly ascending at %d", i)
+		}
+	}
+	m, err := NewMap[V](cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return m, nil
+	}
+
+	// Build the data layer: a chain of nodes with T_D keys each, linked
+	// between the head and tail sentinels.
+	type childRef[W any] struct {
+		min  int64
+		node *node[W]
+	}
+	var refs []childRef[V]
+	head := m.heads[0]
+	tail := head.next.Load()
+	prev := head
+	for off := 0; off < len(keys); off += cfg.TargetDataVectorSize {
+		end := off + cfg.TargetDataVectorSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := m.mem.allocRaw(0)
+		for i := off; i < end; i++ {
+			var v *V
+			if vals != nil {
+				v = vals[i]
+			}
+			n.data.Insert(keys[i], v)
+		}
+		prev.next.Store(n)
+		prev = n
+		if cfg.LayerCount == 1 {
+			// Degenerate configuration: the data layer is the top layer,
+			// so non-head nodes must be orphans (the shape splits produce).
+			n.markOrphanPrivate()
+		} else {
+			refs = append(refs, childRef[V]{min: keys[off], node: n})
+		}
+	}
+	prev.next.Store(tail)
+
+	// Build index layers bottom-up: one entry per child node, T_I entries
+	// per index node, until the top configured layer absorbs the rest.
+	for level := 1; level < cfg.LayerCount; level++ {
+		lhead := m.heads[level]
+		ltail := lhead.next.Load()
+		lprev := lhead
+		var parents []childRef[V]
+		isTop := level == cfg.LayerCount-1
+		for off := 0; off < len(refs); off += cfg.TargetIndexVectorSize {
+			end := off + cfg.TargetIndexVectorSize
+			if end > len(refs) {
+				end = len(refs)
+			}
+			n := m.mem.allocRaw(level)
+			for i := off; i < end; i++ {
+				n.index.Insert(refs[i].min, refs[i].node)
+			}
+			lprev.next.Store(n)
+			lprev = n
+			if isTop {
+				// Top-layer rule: non-head nodes must be orphans.
+				n.markOrphanPrivate()
+			} else {
+				parents = append(parents, childRef[V]{min: refs[off].min, node: n})
+			}
+		}
+		lprev.next.Store(ltail)
+		if isTop {
+			break
+		}
+		refs = parents
+		if len(refs) == 0 {
+			break
+		}
+	}
+
+	m.length.add(0, int64(len(keys)))
+	return m, nil
+}
+
+// BulkLoadUnsorted sorts (key, value) pairs and bulk-loads them; a
+// convenience for callers with unsorted input. Duplicate keys are rejected.
+func BulkLoadUnsorted[V any](cfg Config, keys []int64, vals []*V) (*Map[V], error) {
+	if vals != nil && len(vals) != len(keys) {
+		return nil, fmt.Errorf("core: BulkLoadUnsorted with %d keys but %d values", len(keys), len(vals))
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sk := make([]int64, len(keys))
+	var sv []*V
+	if vals != nil {
+		sv = make([]*V, len(vals))
+	}
+	for n, i := range idx {
+		sk[n] = keys[i]
+		if vals != nil {
+			sv[n] = vals[i]
+		}
+	}
+	return BulkLoad(cfg, sk, sv)
+}

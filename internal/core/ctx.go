@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skipvector/internal/hazard"
+)
+
+// opCtx is the per-operation (really per-goroutine, via pooling) state: the
+// hazard-pointer handle, a private RNG stream for insertion heights, and the
+// stripe used for the length counter. It corresponds to the thread-local
+// state a C++ implementation would keep.
+type opCtx[V any] struct {
+	m      *Map[V]
+	h      *hazard.Handle[node[V]] // nil in leak mode
+	rng    uint64                  // splitmix64 state
+	stripe int
+}
+
+// splitmix64 advances the RNG and returns the next 64-bit value. It is the
+// standard SplitMix64 generator: tiny state, excellent distribution for
+// height generation, fully deterministic per seed.
+func (c *opCtx[V]) splitmix64() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randomHeight draws an insertion height (Listing 3 line 1): height 0 with
+// probability (T_D-1)/T_D, otherwise 1 plus a geometric tail with success
+// probability 1/T_I, capped at LayerCount-1. The resulting expected layer
+// densities match a skip list with p = 1/T (Section IV-A). Degenerate
+// target sizes of 1 (the paper's USL/SL emulation, which removes chunking)
+// fall back to the classic skip list's p = 1/2 — with p = 1/T the
+// un-chunked distribution would put every key in every layer.
+func (c *opCtx[V]) randomHeight() int {
+	cfg := &c.m.cfg
+	if cfg.LayerCount == 1 {
+		return 0
+	}
+	dataP := uint64(cfg.TargetDataVectorSize)
+	if dataP < 2 {
+		dataP = 2
+	}
+	if c.splitmix64()%dataP != 0 {
+		return 0
+	}
+	indexP := uint64(cfg.TargetIndexVectorSize)
+	if indexP < 2 {
+		indexP = 2
+	}
+	h := 1
+	for h < cfg.LayerCount-1 && c.splitmix64()%indexP == 0 {
+		h++
+	}
+	return h
+}
+
+// take publishes a hazard pointer for n ("HP.take"). The pointer is not yet
+// safe to dereference: the caller must validate the sequence lock of the
+// node it read n from, which proves n was still linked when the hazard
+// pointer became visible.
+func (c *opCtx[V]) take(n *node[V]) {
+	if c.h == nil {
+		return
+	}
+	for i := 0; i < hazard.SlotsPerHandle; i++ {
+		if c.slotLoad(i) == nil {
+			c.h.Protect(i, n)
+			return
+		}
+	}
+	panic("core: hazard-pointer slots exhausted")
+}
+
+// drop clears the hazard pointer protecting n ("HP.drop").
+func (c *opCtx[V]) drop(n *node[V]) {
+	if c.h == nil {
+		return
+	}
+	for i := 0; i < hazard.SlotsPerHandle; i++ {
+		if c.slotLoad(i) == n {
+			c.h.Clear(i)
+			return
+		}
+	}
+}
+
+// dropAll clears every hazard pointer ("HP.dropAll"), invoked on restarts.
+func (c *opCtx[V]) dropAll() {
+	if c.h != nil {
+		c.h.ClearAll()
+	}
+}
+
+// retire marks an unlinked node for reclamation ("HP.mark").
+func (c *opCtx[V]) retire(n *node[V]) {
+	c.m.mem.retires.Add(1)
+	if c.h != nil {
+		c.h.Retire(n)
+	}
+}
+
+// slotLoad reads back slot i. The handle's slots are only written by this
+// goroutine, so the scan here is exact.
+func (c *opCtx[V]) slotLoad(i int) *node[V] {
+	return c.h.Slot(i)
+}
+
+// ctxPool hands out opCtx values. Handles register with the hazard domain
+// once and are reused across operations. A hand-rolled free stack is used
+// instead of sync.Pool because pooled contexts own hazard-pointer retire
+// lists: sync.Pool may drop items at any GC, which would strand their
+// retired nodes (pinned by the domain's handle registry) forever. With the
+// explicit stack, the number of contexts equals the peak concurrency and
+// every retired node is eventually scanned.
+type ctxPool[V any] struct {
+	m    *Map[V]
+	mu   sync.Mutex
+	free []*opCtx[V]
+	seq  atomic.Uint64
+}
+
+func newCtxPool[V any](m *Map[V]) *ctxPool[V] {
+	return &ctxPool[V]{m: m}
+}
+
+func (p *ctxPool[V]) get() *opCtx[V] {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	id := p.seq.Add(1)
+	c := &opCtx[V]{
+		m:      p.m,
+		rng:    p.m.cfg.Seed ^ (id * 0x9e3779b97f4a7c15),
+		stripe: int(id),
+	}
+	if p.m.mem.domain != nil {
+		c.h = p.m.mem.domain.NewHandle()
+	}
+	return c
+}
+
+func (p *ctxPool[V]) put(c *opCtx[V]) {
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// FuzzMapModel drives the skip vector with an op byte-stream cross-checked
+// against a map model, over several configurations, with full invariant
+// checking at stream end. Run with `go test -fuzz FuzzMapModel`; plain
+// `go test` replays the seed corpus.
+func FuzzMapModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(0))
+	f.Add([]byte{100, 2, 250, 3, 40, 0, 0, 9, 9, 9}, uint8(1))
+	f.Add([]byte{255, 254, 253, 1, 2, 3, 128, 129}, uint8(2))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, ops []byte, cfgSel uint8) {
+		cfg := DefaultConfig()
+		switch cfgSel % 4 {
+		case 1:
+			cfg.TargetDataVectorSize = 2
+			cfg.TargetIndexVectorSize = 2
+			cfg.LayerCount = 5
+		case 2:
+			cfg.TargetIndexVectorSize = 1
+			cfg.LayerCount = 8
+		case 3:
+			cfg.SortedData = true
+			cfg.SortedIndex = false
+			cfg.Reclaim = ReclaimLeak
+		}
+		m, err := NewMap[int64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[int64]int64{}
+		for i, b := range ops {
+			k := int64(b % 64)
+			switch (b >> 6) % 4 {
+			case 0:
+				_, inModel := model[k]
+				v := k + int64(i)
+				got := m.Insert(k, &v)
+				if got == inModel {
+					t.Fatalf("op %d: Insert(%d) = %t, model=%t", i, k, got, inModel)
+				}
+				if got {
+					model[k] = v
+				}
+			case 1:
+				_, inModel := model[k]
+				if got := m.Remove(k); got != inModel {
+					t.Fatalf("op %d: Remove(%d) = %t, model=%t", i, k, got, inModel)
+				}
+				delete(model, k)
+			case 2:
+				v, got := m.Lookup(k)
+				mv, inModel := model[k]
+				if got != inModel || (got && *v != mv) {
+					t.Fatalf("op %d: Lookup(%d) mismatch", i, k)
+				}
+			default:
+				// Floor query cross-check.
+				var wantK int64
+				want := false
+				for mk := range model {
+					if mk <= k && (!want || mk > wantK) {
+						wantK, want = mk, true
+					}
+				}
+				gk, _, got := m.Floor(k)
+				if got != want || (got && gk != wantK) {
+					t.Fatalf("op %d: Floor(%d) = %d,%t want %d,%t", i, k, gk, got, wantK, want)
+				}
+			}
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("Len %d != model %d", m.Len(), len(model))
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v\n%s", err, m.Dump())
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package core
+
+import "skipvector/internal/seqlock"
+
+// insertState carries Insert's cross-restart bookkeeping: the nodes frozen
+// at each layer (prevs, Listing 3 line 13) and the checkpoint. Frozen nodes
+// are immune to modification, so when a validation fails below the frozen
+// frontier the operation resumes from the lowest frozen node instead of the
+// top of the map (Listing 3 "set checkpoint").
+type insertState[V any] struct {
+	prevs        [MaxLayers]*node[V]
+	lowestFrozen int // layer of the checkpoint node; -1 when none frozen
+}
+
+func (st *insertState[V]) reset() {
+	for i := range st.prevs {
+		st.prevs[i] = nil
+	}
+	st.lowestFrozen = -1
+}
+
+// thawAll releases every frozen node without modifying it, preserving the
+// validity of concurrent readers whose snapshots predate the freezes.
+func (st *insertState[V]) thawAll(height int) {
+	for l := st.lowestFrozen; l <= height; l++ {
+		if l >= 0 && st.prevs[l] != nil {
+			st.prevs[l].lock.Thaw()
+		}
+	}
+	st.reset()
+}
+
+// Insert adds the mapping k→v and returns true, or returns false when k is
+// already present (Listing 3). A successful Insert linearizes at the
+// write-acquisition of its last lock; a failed one at the validated
+// observation of the existing key.
+func (m *Map[V]) Insert(k int64, v *V) bool {
+	checkKey(k)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+	height := ctx.randomHeight()
+	st := insertState[V]{lowestFrozen: -1}
+	for {
+		result, done := m.insertAttempt(ctx, &st, k, v, height)
+		if done {
+			return result
+		}
+		m.stats.Restarts.Add(1)
+		ctx.dropAll()
+	}
+}
+
+// insertAttempt performs one descent. done=false requests a restart; frozen
+// nodes recorded in st survive the restart and become the resume point.
+func (m *Map[V]) insertAttempt(
+	ctx *opCtx[V], st *insertState[V], k int64, v *V, height int,
+) (result, done bool) {
+	var (
+		curr   *node[V]
+		ver    seqlock.Version
+		ok     bool
+		resume = st.lowestFrozen >= 1
+	)
+	if resume {
+		// Resume from the checkpoint: the lowest frozen node is stable, so
+		// its current word is a trivially valid snapshot and no hazard
+		// pointer is needed.
+		curr = st.prevs[st.lowestFrozen]
+		ver = curr.lock.Current()
+	} else {
+		curr = m.head
+		ctx.take(curr)
+		ver, ok = curr.lock.ReadVersion()
+		if !ok {
+			return false, false
+		}
+	}
+
+	for curr.isIndex() {
+		if !resume {
+			curr, ver, ok = m.traverseRight(ctx, curr, ver, k, modeWrite)
+			if !ok {
+				return false, false
+			}
+			if int(curr.level) <= height {
+				fver, frozen := curr.lock.TryFreeze(ver)
+				if !frozen {
+					return false, false
+				}
+				// Frozen nodes cannot change or be retired, so the hazard
+				// pointer is no longer needed (Listing 3 line 12).
+				ctx.drop(curr)
+				st.prevs[curr.level] = curr
+				st.lowestFrozen = int(curr.level)
+				ver = fver
+			}
+		}
+		resume = false
+
+		kf, child, found := curr.index.FindLE(k)
+		if !found || child == nil {
+			// Violates the traversal invariant; only possible on a torn
+			// read of an unfrozen node. Restart.
+			return false, false
+		}
+		if kf == k {
+			// k already has an index entry: it is present in the map. For
+			// an unfrozen node the observation must be validated first.
+			if !ver.Frozen() && !curr.lock.Validate(ver) {
+				return false, false
+			}
+			st.thawAll(height)
+			ctx.dropAll()
+			return false, true
+		}
+		curr, ver, ok = m.exchangeDown(ctx, curr, ver, child)
+		if !ok {
+			return false, false
+		}
+	}
+
+	// Data layer: settle on the target node and freeze it.
+	curr, ver, ok = m.traverseRight(ctx, curr, ver, k, modeWrite)
+	if !ok {
+		return false, false
+	}
+	if _, frozen := curr.lock.TryFreeze(ver); !frozen {
+		return false, false
+	}
+	ctx.drop(curr)
+	st.prevs[0] = curr
+	st.lowestFrozen = 0
+
+	if curr.data.Contains(k) {
+		st.thawAll(height)
+		ctx.dropAll()
+		return false, true
+	}
+
+	m.applyInsert(ctx, st, k, v, height)
+	st.reset()
+	ctx.dropAll()
+	m.length.add(ctx.stripe, 1)
+	return true, true
+}
+
+// applyInsert performs the write phase of a successful Insert (Listing 3
+// lines 31-43). Every prevs[layer] for layer ∈ [0,height] is frozen by this
+// operation; nodes are upgraded to write-locked one at a time, bottom-up, so
+// concurrent searches that land on already-updated layers still complete
+// correctly (Section IV-C).
+func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, height int) {
+	// Layer 0.
+	d := st.prevs[0]
+	d.lock.UpgradeFrozen()
+	if height == 0 {
+		target := d
+		if d.data.Full() {
+			target = m.splitFull(ctx, d, k)
+		}
+		if !target.data.Insert(k, v) {
+			panic("core: insert into data chunk failed after absence check")
+		}
+		d.lock.Release()
+		return
+	}
+
+	// height ≥ 1: the key becomes the minimum of a new node in every layer
+	// below its height, each stealing the elements greater than k from its
+	// frozen predecessor.
+	nd := m.mem.allocRaw(0)
+	d.data.MoveGreaterTo(k, &nd.data)
+	nd.data.Insert(k, v)
+	nd.next.Store(d.next.Load())
+	d.next.Store(nd)
+	d.lock.Release()
+	m.stats.Splits.Add(1)
+
+	child := nd
+	for layer := 1; layer < height; layer++ {
+		p := st.prevs[layer]
+		p.lock.UpgradeFrozen()
+		ni := m.mem.allocRaw(layer)
+		p.index.MoveGreaterTo(k, &ni.index)
+		ni.index.Insert(k, child)
+		ni.next.Store(p.next.Load())
+		p.next.Store(ni)
+		p.lock.Release()
+		m.stats.Splits.Add(1)
+		child = ni
+	}
+
+	// At the chosen height, k joins an existing node (splitting only if it
+	// is at capacity).
+	p := st.prevs[height]
+	p.lock.UpgradeFrozen()
+	target := p
+	if p.index.Full() {
+		target = m.splitFull(ctx, p, k)
+	}
+	if !target.index.Insert(k, child) {
+		panic("core: insert into index chunk failed after absence check")
+	}
+	p.lock.Release()
+}
+
+// splitFull splits the write-locked full node n, moving its upper half into
+// a fresh orphan linked immediately to n's right (Section III: orphan
+// creation by capacity splits). It returns whichever node should receive k.
+// The orphan is invisible to other operations until n's lock is released,
+// because reaching it requires reading n.next and then validating n.
+func (m *Map[V]) splitFull(ctx *opCtx[V], n *node[V], k int64) *node[V] {
+	o := m.mem.allocRaw(int(n.level))
+	var pivot int64
+	if n.isIndex() {
+		pivot = n.index.SplitUpperHalfTo(&o.index)
+	} else {
+		pivot = n.data.SplitUpperHalfTo(&o.data)
+	}
+	o.markOrphanPrivate()
+	o.next.Store(n.next.Load())
+	n.next.Store(o)
+	m.stats.Splits.Add(1)
+	if k >= pivot {
+		return o
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skipvector/internal/lincheck"
+)
+
+// TestLinearizability records many short concurrent histories against the
+// skip vector and verifies each is linearizable under the sequential map
+// specification. Tiny chunks and a tiny key space maximize the chance that
+// operations overlap inside one node, which is where the seqlock/freeze
+// machinery must deliver atomicity.
+func TestLinearizability(t *testing.T) {
+	cfgs := map[string]Config{
+		"tiny-chunks": testConfigs()["tiny-chunks"],
+		"sl":          testConfigs()["sl"],
+		"default":     testConfigs()["default"],
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			const (
+				rounds   = 60
+				procs    = 3
+				opsEach  = 4
+				keySpace = 3
+			)
+			for round := 0; round < rounds; round++ {
+				m := newTestMap(t, cfg)
+				rec := lincheck.NewRecorder()
+				var wg sync.WaitGroup
+				for p := 0; p < procs; p++ {
+					wg.Add(1)
+					go func(p int, seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < opsEach; i++ {
+							k := int64(rng.Intn(keySpace))
+							switch rng.Intn(3) {
+							case 0:
+								v := int64(p*1000 + i)
+								inv := rec.Begin()
+								ok := m.Insert(k, &v)
+								rec.End(lincheck.Event{
+									Proc: p, Kind: lincheck.KindInsert,
+									Key: k, Val: v, RetOK: ok,
+								}, inv)
+							case 1:
+								inv := rec.Begin()
+								ok := m.Remove(k)
+								rec.End(lincheck.Event{
+									Proc: p, Kind: lincheck.KindRemove,
+									Key: k, RetOK: ok,
+								}, inv)
+							default:
+								inv := rec.Begin()
+								pv, ok := m.Lookup(k)
+								var rv int64
+								if ok {
+									rv = *pv
+								}
+								rec.End(lincheck.Event{
+									Proc: p, Kind: lincheck.KindLookup,
+									Key: k, RetOK: ok, RetVal: rv,
+								}, inv)
+							}
+						}
+					}(p, int64(round*100+p))
+				}
+				wg.Wait()
+				if ok, msg := lincheck.Check(rec.History()); !ok {
+					t.Fatalf("round %d: %s\n%s", round, msg, m.Dump())
+				}
+				mustCheck(t, m)
+			}
+		})
+	}
+}
+
+// TestLinearizabilityWithRangeOps mixes point ops with single-key
+// RangeUpdate (modelled as remove+insert? No — RangeUpdate preserves
+// presence, so model its observation as a Lookup and its write as a value
+// change). Here we restrict to RangeQuery observations: every key/value
+// pair a linearizable range query reports must be consistent with some
+// linearization, which for a single-key window reduces to a Lookup event.
+func TestLinearizabilityWithRangeOps(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	const (
+		rounds  = 40
+		procs   = 3
+		opsEach = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := newTestMap(t, cfg)
+		rec := lincheck.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsEach; i++ {
+					k := int64(rng.Intn(3))
+					switch rng.Intn(4) {
+					case 0:
+						v := int64(p*1000 + i)
+						inv := rec.Begin()
+						ok := m.Insert(k, &v)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindInsert, Key: k, Val: v, RetOK: ok}, inv)
+					case 1:
+						inv := rec.Begin()
+						ok := m.Remove(k)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRemove, Key: k, RetOK: ok}, inv)
+					case 2:
+						inv := rec.Begin()
+						pv, ok := m.Lookup(k)
+						var rv int64
+						if ok {
+							rv = *pv
+						}
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: ok, RetVal: rv}, inv)
+					default:
+						// Single-key linearizable range query == Lookup.
+						inv := rec.Begin()
+						found := false
+						var rv int64
+						m.RangeQuery(k, k, func(_ int64, v *int64) bool {
+							found = true
+							rv = *v
+							return true
+						})
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: found, RetVal: rv}, inv)
+					}
+				}
+			}(p, int64(round*31+p))
+		}
+		wg.Wait()
+		if ok, msg := lincheck.Check(rec.History()); !ok {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+	}
+}

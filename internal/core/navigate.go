@@ -1,0 +1,104 @@
+package core
+
+// Ordered-map navigation queries. These make the skip vector usable as a
+// drop-in ordered index (floor/ceiling are what database scans and
+// time-series cursors are built from) and exercise the same optimistic
+// traversal machinery as Lookup: every answer is validated against the
+// owning node's sequence lock before being returned, so each query is
+// linearizable at its final validation.
+
+// Floor returns the largest key ≤ k and its value, or ok=false when no such
+// key exists.
+func (m *Map[V]) Floor(k int64) (int64, *V, bool) {
+	checkKey(k)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+	for {
+		if key, v, found, ok := m.floorOnce(ctx, k); ok {
+			return key, v, found
+		}
+		m.stats.Restarts.Add(1)
+		ctx.dropAll()
+	}
+}
+
+func (m *Map[V]) floorOnce(ctx *opCtx[V], k int64) (key int64, v *V, found, ok bool) {
+	curr, ver, ok := m.descendToData(ctx, k, modeRead)
+	if !ok {
+		return 0, nil, false, false
+	}
+	fk, fv, has := curr.data.FindLE(k)
+	if !curr.lock.Validate(ver) {
+		return 0, nil, false, false
+	}
+	ctx.dropAll()
+	if !has || fk == MinKey {
+		// Only the head sentinel is ≤ k: no user key qualifies. (The
+		// traversal already settled on the rightmost node with min ≤ k, so
+		// nothing to the left can hold a larger qualifying key.)
+		return 0, nil, false, true
+	}
+	return fk, fv, true, true
+}
+
+// Ceiling returns the smallest key ≥ k and its value, or ok=false when no
+// such key exists.
+func (m *Map[V]) Ceiling(k int64) (int64, *V, bool) {
+	checkKey(k)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+	for {
+		if key, v, found, ok := m.ceilingOnce(ctx, k); ok {
+			return key, v, found
+		}
+		m.stats.Restarts.Add(1)
+		ctx.dropAll()
+	}
+}
+
+func (m *Map[V]) ceilingOnce(ctx *opCtx[V], k int64) (key int64, v *V, found, ok bool) {
+	curr, ver, ok := m.descendToData(ctx, k, modeRead)
+	if !ok {
+		return 0, nil, false, false
+	}
+	// Walk right until a node yields a key ≥ k. The first candidate node is
+	// the one owning k; successors are reached hand-over-hand with the same
+	// validation discipline as traverseRight.
+	for {
+		ck, cv, has := curr.data.FindGE(k)
+		if has {
+			if !curr.lock.Validate(ver) {
+				return 0, nil, false, false
+			}
+			ctx.dropAll()
+			if ck == MaxKey {
+				return 0, nil, false, true // only the tail sentinel remains
+			}
+			return ck, cv, true, true
+		}
+		next := curr.next.Load()
+		if next == nil {
+			return 0, nil, false, false // torn read of a recycled node
+		}
+		ctx.take(next)
+		if !curr.lock.Validate(ver) {
+			return 0, nil, false, false
+		}
+		nextVer, readOK := next.lock.ReadVersion()
+		if !readOK {
+			return 0, nil, false, false
+		}
+		ctx.drop(curr)
+		curr, ver = next, nextVer
+	}
+}
+
+// First returns the smallest key in the map.
+func (m *Map[V]) First() (int64, *V, bool) {
+	return m.Ceiling(MinKey + 1)
+}
+
+// Last returns the largest key in the map.
+func (m *Map[V]) Last() (int64, *V, bool) {
+	return m.Floor(MaxKey - 1)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skipvector/internal/hazard"
+	"skipvector/internal/seqlock"
+	"skipvector/internal/vectormap"
+)
+
+// node is a skip vector node at any layer. Data-layer nodes (level 0) use
+// the data chunk (key → *V); index nodes use the index chunk (key → child
+// node one layer down). Exactly one of the two chunks is initialized.
+//
+// The sequence lock protects both chunks and the next pointer. Optimistic
+// readers snapshot the lock, read atomic cells, and validate; writers hold
+// the lock. The lock word is never reset when a node is recycled, so its
+// sequence number grows monotonically across lifetimes and a validation
+// against a stale snapshot from a previous lifetime always fails.
+type node[V any] struct {
+	lock  seqlock.Lock
+	next  atomic.Pointer[node[V]]
+	level int32
+	data  vectormap.Chunk[V]
+	index vectormap.Chunk[node[V]]
+}
+
+// isIndex reports whether the node belongs to an index layer.
+func (n *node[V]) isIndex() bool { return n.level > 0 }
+
+// size returns the current element count of the active chunk.
+func (n *node[V]) size() int {
+	if n.isIndex() {
+		return n.index.Size()
+	}
+	return n.data.Size()
+}
+
+// minKey returns the smallest key in the node (ok=false when empty).
+func (n *node[V]) minKey() (int64, bool) {
+	if n.isIndex() {
+		return n.index.MinKey()
+	}
+	return n.data.MinKey()
+}
+
+// maxKey returns the largest key in the node (ok=false when empty).
+func (n *node[V]) maxKey() (int64, bool) {
+	if n.isIndex() {
+		return n.index.MaxKey()
+	}
+	return n.data.MaxKey()
+}
+
+// markOrphanPrivate flags an unpublished node as an orphan. The node must
+// not be reachable by other goroutines yet: the transient lock acquisition
+// cannot block anyone and Abort leaves the sequence number untouched.
+func (n *node[V]) markOrphanPrivate() {
+	n.lock.Acquire()
+	n.lock.SetOrphan(true)
+	n.lock.Abort()
+}
+
+// memory allocates and recycles nodes. In hazard mode, retired nodes flow
+// through the hazard domain's scan into per-layer-class freelists and are
+// reused, giving the paper's precise reclamation; in leak mode nodes are
+// always freshly allocated and unlinked nodes are left to the collector.
+type memory[V any] struct {
+	cfg    *Config
+	domain *hazard.Domain[node[V]] // nil in leak mode
+
+	mu        sync.Mutex
+	freeData  []*node[V]
+	freeIndex []*node[V]
+
+	allocs  atomic.Int64
+	reuses  atomic.Int64
+	retires atomic.Int64
+}
+
+func newMemory[V any](cfg *Config) *memory[V] {
+	m := &memory[V]{cfg: cfg}
+	if cfg.Reclaim == ReclaimHazard {
+		m.domain = hazard.NewDomain(m.recycle)
+	}
+	return m
+}
+
+// recycle receives nodes the hazard scan proved unreachable.
+func (m *memory[V]) recycle(n *node[V]) {
+	m.mu.Lock()
+	if n.level == 0 {
+		m.freeData = append(m.freeData, n)
+	} else {
+		m.freeIndex = append(m.freeIndex, n)
+	}
+	m.mu.Unlock()
+}
+
+// allocRaw returns a node for the given layer with an initialized, empty
+// chunk. Recycled nodes keep their sequence-lock word (see node docs) but
+// have next cleared and their chunk reset.
+func (m *memory[V]) allocRaw(level int) *node[V] {
+	var n *node[V]
+	if m.domain != nil {
+		m.mu.Lock()
+		if level == 0 {
+			if l := len(m.freeData); l > 0 {
+				n, m.freeData = m.freeData[l-1], m.freeData[:l-1]
+			}
+		} else {
+			if l := len(m.freeIndex); l > 0 {
+				n, m.freeIndex = m.freeIndex[l-1], m.freeIndex[:l-1]
+			}
+		}
+		m.mu.Unlock()
+	}
+	if n == nil {
+		n = &node[V]{}
+		m.allocs.Add(1)
+	} else {
+		m.reuses.Add(1)
+		n.next.Store(nil)
+		if n.lock.IsOrphan() {
+			// Clear the stale orphan flag from the previous lifetime.
+			n.lock.Acquire()
+			n.lock.SetOrphan(false)
+			n.lock.Abort()
+		}
+	}
+	n.level = int32(level)
+	if level == 0 {
+		n.data.Init(m.cfg.TargetDataVectorSize, m.cfg.SortedData)
+	} else {
+		n.index.Init(m.cfg.TargetIndexVectorSize, m.cfg.SortedIndex)
+	}
+	return n
+}
+
+// lengthCounter is a striped counter: per-stripe atomics avoid making the
+// map size a global contention point on the hot insert/remove paths.
+type lengthCounter struct {
+	stripes [8]struct {
+		v atomic.Int64
+		_ [7]int64 // pad to a cache line to avoid false sharing
+	}
+}
+
+func (c *lengthCounter) add(stripe int, delta int64) {
+	c.stripes[stripe&7].v.Add(delta)
+}
+
+func (c *lengthCounter) load() int64 {
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Stats exposes internal event counters for benchmarks and ablations. All
+// counters are updated on rare paths (restarts, splits, merges), never on
+// the per-element hot path.
+type Stats struct {
+	Restarts atomic.Int64 // operation restarts after failed validation
+	Splits   atomic.Int64 // chunk splits (capacity or keyed)
+	Merges   atomic.Int64 // orphan merges (including empty-orphan unlinks)
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Restarts int64
+	Splits   int64
+	Merges   int64
+	Allocs   int64
+	Reuses   int64
+	Retired  int64 // nodes retired but not yet recycled (bounded garbage)
+}
+
+// Stats returns a snapshot of the map's internal counters.
+func (m *Map[V]) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Restarts: m.stats.Restarts.Load(),
+		Splits:   m.stats.Splits.Load(),
+		Merges:   m.stats.Merges.Load(),
+		Allocs:   m.mem.allocs.Load(),
+		Reuses:   m.mem.reuses.Load(),
+	}
+	if m.mem.domain != nil {
+		s.Retired = m.mem.domain.RetiredCount()
+	}
+	return s
+}

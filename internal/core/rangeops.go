@@ -1,0 +1,131 @@
+package core
+
+// Range operations (Section V-B, Figure 8). Because the skip vector is
+// lock-based, serializable range operations fall out of two-phase locking:
+// the operation locks every data node spanning [lo,hi], applies its
+// function, and only then releases. Mutating and read-only range operations
+// are both linearizable; concurrent point operations either complete before
+// the range takes its locks or are forced to restart and observe its result.
+
+// RangeQuery calls fn for every mapping with lo ≤ key ≤ hi, in ascending key
+// order. fn returning false stops the iteration early (locks are still
+// released properly). fn must not call back into the map.
+func (m *Map[V]) RangeQuery(lo, hi int64, fn func(k int64, v *V) bool) {
+	if lo > hi {
+		return
+	}
+	m.lockedRange(lo, hi, false, func(k int64, v *V) (*V, bool) {
+		return v, fn(k, v)
+	})
+}
+
+// RangeUpdate calls fn for every mapping with lo ≤ key ≤ hi in ascending key
+// order and replaces each value with fn's return. It returns the number of
+// mappings visited. The whole update is a single serializable operation.
+func (m *Map[V]) RangeUpdate(lo, hi int64, fn func(k int64, v *V) *V) int {
+	if lo > hi {
+		return 0
+	}
+	count := 0
+	m.lockedRange(lo, hi, true, func(k int64, v *V) (*V, bool) {
+		count++
+		return fn(k, v), true
+	})
+	return count
+}
+
+// Ascend iterates every mapping in ascending key order under range locks.
+func (m *Map[V]) Ascend(fn func(k int64, v *V) bool) {
+	m.RangeQuery(MinKey+1, MaxKey-1, fn)
+}
+
+// lockedRange implements both range operations. It descends optimistically
+// to the data node owning lo, upgrades to a write lock, and then extends the
+// locked window rightward hand-over-hand until the node minima exceed hi.
+// All locks are held until the function has been applied everywhere (strict
+// two-phase locking); read-only ranges release with Abort so that concurrent
+// optimistic readers of untouched nodes stay valid.
+func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (*V, bool)) {
+	// Clamp the window to the user key space so sentinel entries (⊥ in the
+	// head, ⊤ in the tail) are never exposed to fn.
+	if lo <= MinKey {
+		lo = MinKey + 1
+	}
+	if hi >= MaxKey {
+		hi = MaxKey - 1
+	}
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	var locked []*node[V]
+	for {
+		curr, ver, ok := m.descendToData(ctx, lo, modeRead)
+		if !ok {
+			m.stats.Restarts.Add(1)
+			ctx.dropAll()
+			continue
+		}
+		if !curr.lock.TryUpgrade(ver) {
+			m.stats.Restarts.Add(1)
+			ctx.dropAll()
+			continue
+		}
+		// From here on locks, not hazard pointers, protect the traversal:
+		// a locked node cannot be retired, and its next pointer cannot
+		// change, so the next node is reachable and stable once locked too.
+		ctx.dropAll()
+		locked = append(locked[:0], curr)
+		break
+	}
+
+	// Growth phase: extend the locked window right while nodes may hold
+	// keys ≤ hi. Node minima are strictly increasing along the layer, so
+	// the first locked node whose minimum exceeds hi ends the window.
+	for {
+		last := locked[len(locked)-1]
+		next := last.next.Load()
+		if next == nil {
+			break
+		}
+		next.lock.Acquire()
+		locked = append(locked, next)
+		if minK, ok := next.minKey(); ok && minK > hi {
+			break
+		}
+		if next.next.Load() == nil {
+			break // tail
+		}
+	}
+
+	// Apply phase: every element in [lo,hi] is covered by the window.
+	stopped := false
+	for _, n := range locked {
+		if stopped {
+			break
+		}
+		n.data.ForEachOrdered(func(k int64, v *V) bool {
+			if k < lo || k > hi {
+				return true
+			}
+			nv, cont := fn(k, v)
+			if mutate && nv != v {
+				n.data.Set(k, nv)
+			}
+			if !cont {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+
+	// Shrink phase: release everything. Mutating ranges bump sequence
+	// numbers; read-only ranges restore the pre-lock words.
+	for _, n := range locked {
+		if mutate {
+			n.lock.Release()
+		} else {
+			n.lock.Abort()
+		}
+	}
+}

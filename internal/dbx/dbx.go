@@ -1,0 +1,291 @@
+// Package dbx is a compact single-node in-memory OLTP engine in the mould
+// of DBx1000 [Yu et al., VLDB 2014], the system the paper integrates the
+// skip vector into for its YCSB evaluation (Figure 6). It reproduces the
+// pieces that experiment exercises:
+//
+//   - one table of fixed-width rows (10 × 64-bit fields, YCSB-style);
+//   - an ordered index (pluggable: skip vector, unrolled skip list, plain
+//     skip list) as the access path from key to row;
+//   - per-row two-phase locking with the NO_WAIT policy: a transaction that
+//     hits a lock conflict aborts immediately and retries, so deadlock is
+//     impossible;
+//   - YCSB transactions: 16 row accesses each, 90% reads / 10% updates,
+//     keys drawn from a scrambled Zipfian distribution.
+package dbx
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FieldsPerRow is the YCSB row width (10 fields of 8 bytes).
+const FieldsPerRow = 10
+
+// RowID identifies a row in a table's heap.
+type RowID int64
+
+// Row is a fixed-width tuple with an embedded reader/writer lock word.
+type Row struct {
+	lock rwLock
+	F    [FieldsPerRow]uint64
+}
+
+// rwLock is a word-sized reader/writer spin lock with try-only acquisition
+// (NO_WAIT 2PL never blocks): the high bit is the writer flag, the low bits
+// count readers.
+type rwLock struct {
+	word atomic.Uint64
+}
+
+const writerBit = uint64(1) << 63
+
+// tryReadLock acquires a shared lock unless a writer holds the word.
+func (l *rwLock) tryReadLock() bool {
+	for {
+		w := l.word.Load()
+		if w&writerBit != 0 {
+			return false
+		}
+		if l.word.CompareAndSwap(w, w+1) {
+			return true
+		}
+	}
+}
+
+func (l *rwLock) readUnlock() {
+	l.word.Add(^uint64(0)) // -1
+}
+
+// tryWriteLock acquires the exclusive lock only when the word is free.
+func (l *rwLock) tryWriteLock() bool {
+	return l.word.CompareAndSwap(0, writerBit)
+}
+
+// tryUpgradeLock converts a read lock into the write lock when the caller
+// is the sole reader.
+func (l *rwLock) tryUpgradeLock() bool {
+	return l.word.CompareAndSwap(1, writerBit)
+}
+
+func (l *rwLock) writeUnlock() {
+	l.word.Store(0)
+}
+
+// Index is the ordered access path from primary key to row. Implementations
+// must be safe for concurrent use.
+type Index interface {
+	// Insert maps key→rid; returns false if the key exists.
+	Insert(key int64, rid RowID) bool
+	// Lookup resolves a key to its row.
+	Lookup(key int64) (RowID, bool)
+	// Scan calls fn for keys ≥ start in ascending order until fn returns
+	// false or the index is exhausted. It is the access path for YCSB-E
+	// style scan transactions; fn runs under the index's internal
+	// synchronization and must not call back into the index.
+	Scan(start int64, fn func(key int64, rid RowID) bool)
+	// Name labels the index in benchmark output.
+	Name() string
+}
+
+// Table is a heap of rows plus a primary index.
+type Table struct {
+	rows  []Row
+	index Index
+	used  atomic.Int64
+}
+
+// NewTable allocates a table with capacity for n rows using the given
+// primary index.
+func NewTable(n int64, index Index) *Table {
+	return &Table{rows: make([]Row, n), index: index}
+}
+
+// InsertRow appends a row with the given key and fields, registering it in
+// the primary index. Returns an error when the heap is full or the key is a
+// duplicate.
+func (t *Table) InsertRow(key int64, fields [FieldsPerRow]uint64) (RowID, error) {
+	rid := RowID(t.used.Add(1) - 1)
+	if int(rid) >= len(t.rows) {
+		t.used.Add(-1)
+		return 0, fmt.Errorf("dbx: table full (%d rows)", len(t.rows))
+	}
+	t.rows[rid].F = fields
+	if !t.index.Insert(key, rid) {
+		return 0, fmt.Errorf("dbx: duplicate key %d", key)
+	}
+	return rid, nil
+}
+
+// Row returns the row for rid. The caller must hold the row's lock through
+// a transaction access.
+func (t *Table) Row(rid RowID) *Row { return &t.rows[rid] }
+
+// Len returns the number of rows inserted.
+func (t *Table) Len() int64 { return t.used.Load() }
+
+// Index returns the table's primary index.
+func (t *Table) Index() Index { return t.index }
+
+// accessKind distinguishes transaction access types.
+type accessKind int
+
+const (
+	accessRead accessKind = iota + 1
+	accessUpdate
+	accessScan
+)
+
+// Txn is a transaction context implementing strict two-phase locking with
+// NO_WAIT conflict handling. It is single-goroutine; reuse between
+// transactions via Reset.
+type Txn struct {
+	table  *Table
+	reads  []RowID
+	writes []RowID
+}
+
+// NewTxn builds a transaction context for a table.
+func NewTxn(t *Table) *Txn {
+	return &Txn{
+		table:  t,
+		reads:  make([]RowID, 0, 32),
+		writes: make([]RowID, 0, 32),
+	}
+}
+
+// ErrAbort reports a NO_WAIT lock conflict; the caller should release (via
+// the returned state of Abort) and retry the whole transaction.
+var ErrAbort = fmt.Errorf("dbx: transaction aborted (lock conflict)")
+
+// holdsWrite reports whether the transaction already write-locked rid.
+func (tx *Txn) holdsWrite(rid RowID) bool {
+	for _, w := range tx.writes {
+		if w == rid {
+			return true
+		}
+	}
+	return false
+}
+
+// readIndex returns the position of rid in the read set, or -1.
+func (tx *Txn) readIndex(rid RowID) int {
+	for i, r := range tx.reads {
+		if r == rid {
+			return i
+		}
+	}
+	return -1
+}
+
+// lockRead takes (or reuses) a shared lock on rid for this transaction.
+func (tx *Txn) lockRead(rid RowID) bool {
+	if tx.holdsWrite(rid) || tx.readIndex(rid) >= 0 {
+		return true // already covered by a lock this transaction holds
+	}
+	if !tx.table.Row(rid).lock.tryReadLock() {
+		return false
+	}
+	tx.reads = append(tx.reads, rid)
+	return true
+}
+
+// lockWrite takes (or upgrades to) the exclusive lock on rid.
+func (tx *Txn) lockWrite(rid RowID) bool {
+	if tx.holdsWrite(rid) {
+		return true
+	}
+	row := tx.table.Row(rid)
+	if i := tx.readIndex(rid); i >= 0 {
+		// Upgrade our own read lock; fails (NO_WAIT) if other readers
+		// share the row.
+		if !row.lock.tryUpgradeLock() {
+			return false
+		}
+		last := len(tx.reads) - 1
+		tx.reads[i] = tx.reads[last]
+		tx.reads = tx.reads[:last]
+	} else if !row.lock.tryWriteLock() {
+		return false
+	}
+	tx.writes = append(tx.writes, rid)
+	return true
+}
+
+// Read looks up key, read-locks its row, and returns the row pointer. The
+// lock is held until Commit or Abort.
+func (tx *Txn) Read(key int64) (*Row, error) {
+	rid, ok := tx.table.index.Lookup(key)
+	if !ok {
+		return nil, fmt.Errorf("dbx: key %d not found", key)
+	}
+	if !tx.lockRead(rid) {
+		return nil, ErrAbort
+	}
+	return tx.table.Row(rid), nil
+}
+
+// Update looks up key, write-locks its row (upgrading a read lock this
+// transaction already holds), and returns the row pointer for modification.
+// The lock is held until Commit or Abort.
+func (tx *Txn) Update(key int64) (*Row, error) {
+	rid, ok := tx.table.index.Lookup(key)
+	if !ok {
+		return nil, fmt.Errorf("dbx: key %d not found", key)
+	}
+	if !tx.lockWrite(rid) {
+		return nil, ErrAbort
+	}
+	return tx.table.Row(rid), nil
+}
+
+// Scan read-locks up to n rows with keys ≥ start (YCSB-E style) and calls
+// fn for each. On a NO_WAIT conflict it returns ErrAbort; locks already
+// taken remain held until the caller aborts. Row locks are try-only and the
+// index's internal locks are released before Scan returns, so no blocking
+// cycle can form. Note that, like DBx1000, the engine provides no phantom
+// protection: the scanned window is locked row-wise, not predicate-wise.
+func (tx *Txn) Scan(start int64, n int, fn func(key int64, row *Row)) error {
+	conflict := false
+	tx.table.index.Scan(start, func(key int64, rid RowID) bool {
+		if n <= 0 {
+			return false
+		}
+		if !tx.lockRead(rid) {
+			conflict = true
+			return false
+		}
+		fn(key, tx.table.Row(rid))
+		n--
+		return n > 0
+	})
+	if conflict {
+		return ErrAbort
+	}
+	return nil
+}
+
+// Commit releases every lock (strict 2PL: all locks drop at commit).
+func (tx *Txn) Commit() {
+	tx.releaseAll()
+}
+
+// Abort releases every lock without further effect; YCSB updates are
+// idempotent overwrites so no undo log is needed for this workload. (A
+// general engine would roll back here.)
+func (tx *Txn) Abort() {
+	tx.releaseAll()
+}
+
+func (tx *Txn) releaseAll() {
+	for _, rid := range tx.reads {
+		tx.table.Row(rid).lock.readUnlock()
+	}
+	for _, rid := range tx.writes {
+		tx.table.Row(rid).lock.writeUnlock()
+	}
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+}
+
+// Locked reports the number of locks currently held (tests).
+func (tx *Txn) Locked() int { return len(tx.reads) + len(tx.writes) }

@@ -1,0 +1,457 @@
+package dbx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"skipvector/internal/workload"
+)
+
+func testConfig() YCSBConfig {
+	cfg := DefaultYCSBConfig()
+	cfg.Rows = 4096
+	cfg.TxnsPerThread = 300
+	cfg.Threads = 4
+	return cfg
+}
+
+func TestRWLock(t *testing.T) {
+	var l rwLock
+	if !l.tryReadLock() || !l.tryReadLock() {
+		t.Fatal("shared read locks should coexist")
+	}
+	if l.tryWriteLock() {
+		t.Fatal("write lock granted over readers")
+	}
+	l.readUnlock()
+	l.readUnlock()
+	if !l.tryWriteLock() {
+		t.Fatal("write lock denied on free lock")
+	}
+	if l.tryReadLock() {
+		t.Fatal("read lock granted over writer")
+	}
+	if l.tryWriteLock() {
+		t.Fatal("second write lock granted")
+	}
+	l.writeUnlock()
+	if !l.tryReadLock() {
+		t.Fatal("read lock denied after write unlock")
+	}
+	l.readUnlock()
+}
+
+func TestTableInsertAndLookup(t *testing.T) {
+	tab := NewTable(100, NewSkipVectorIndex(100))
+	var fields [FieldsPerRow]uint64
+	fields[0] = 42
+	rid, err := tab.InsertRow(7, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Row(rid).F[0] != 42 {
+		t.Fatal("row fields lost")
+	}
+	if _, err := tab.InsertRow(7, fields); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	got, ok := tab.Index().Lookup(7)
+	if !ok || got != rid {
+		t.Fatalf("index lookup = %d,%t", got, ok)
+	}
+	if tab.Len() < 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	tab := NewTable(2, NewSkipVectorIndex(2))
+	var fields [FieldsPerRow]uint64
+	for k := int64(0); k < 2; k++ {
+		if _, err := tab.InsertRow(k, fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tab.InsertRow(99, fields); err == nil {
+		t.Fatal("overfull insert accepted")
+	}
+}
+
+func TestTxn2PL(t *testing.T) {
+	tab := NewTable(10, NewSkipVectorIndex(10))
+	var fields [FieldsPerRow]uint64
+	for k := int64(0); k < 10; k++ {
+		tab.InsertRow(k, fields)
+	}
+	tx1 := NewTxn(tab)
+	tx2 := NewTxn(tab)
+
+	// Shared readers coexist.
+	if _, err := tx1.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	// Writer conflicts with readers (NO_WAIT → ErrAbort).
+	tx3 := NewTxn(tab)
+	if _, err := tx3.Update(3); !errors.Is(err, ErrAbort) {
+		t.Fatalf("Update over readers: %v", err)
+	}
+	tx3.Abort()
+	tx1.Commit()
+	tx2.Commit()
+
+	// Now the writer succeeds, and blocks a reader.
+	if _, err := tx3.Update(3); err != nil {
+		t.Fatal(err)
+	}
+	tx4 := NewTxn(tab)
+	if _, err := tx4.Read(3); !errors.Is(err, ErrAbort) {
+		t.Fatalf("Read over writer: %v", err)
+	}
+	tx4.Abort()
+	tx3.Commit()
+	if tx3.Locked() != 0 {
+		t.Fatal("locks leaked after commit")
+	}
+}
+
+func TestTxnMissingKey(t *testing.T) {
+	tab := NewTable(10, NewSkipVectorIndex(10))
+	tx := NewTxn(tab)
+	if _, err := tx.Read(5); err == nil || errors.Is(err, ErrAbort) {
+		t.Fatalf("missing key error = %v", err)
+	}
+	tx.Abort()
+}
+
+func TestUpdateVisibleAfterCommit(t *testing.T) {
+	tab := NewTable(10, NewSkipVectorIndex(10))
+	var fields [FieldsPerRow]uint64
+	tab.InsertRow(1, fields)
+	tx := NewTxn(tab)
+	row, err := tx.Update(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row.F[4] = 777
+	tx.Commit()
+	tx2 := NewTxn(tab)
+	row2, err := tx2.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row2.F[4] != 777 {
+		t.Fatal("committed update not visible")
+	}
+	tx2.Commit()
+}
+
+func TestLoadTableAllIndexes(t *testing.T) {
+	cfg := testConfig()
+	for _, mk := range []func(int64) Index{
+		NewSkipVectorIndex, NewUnrolledIndex, NewSkipListIndex,
+	} {
+		idx := mk(cfg.Rows)
+		tab, err := LoadTable(cfg, idx)
+		if err != nil {
+			t.Fatalf("%s: %v", idx.Name(), err)
+		}
+		if tab.Len() != cfg.Rows {
+			t.Fatalf("%s: loaded %d rows", idx.Name(), tab.Len())
+		}
+		for _, k := range []int64{0, cfg.Rows / 2, cfg.Rows - 1} {
+			if _, ok := idx.Lookup(k); !ok {
+				t.Fatalf("%s: key %d missing", idx.Name(), k)
+			}
+		}
+	}
+}
+
+func TestRunYCSBCommitsAll(t *testing.T) {
+	cfg := testConfig()
+	tab, err := LoadTable(cfg, NewSkipVectorIndex(cfg.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunYCSB(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Threads * cfg.TxnsPerThread)
+	if res.Committed != want {
+		t.Fatalf("committed %d, want %d", res.Committed, want)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestRunYCSBHighSkewProgresses(t *testing.T) {
+	cfg := testConfig()
+	cfg.Theta = 0.9
+	cfg.TxnsPerThread = 150
+	tab, err := LoadTable(cfg, NewSkipVectorIndex(cfg.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunYCSB(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Threads * cfg.TxnsPerThread)
+	if res.Committed != want {
+		t.Fatalf("committed %d, want %d (aborts %d)", res.Committed, want, res.Aborts)
+	}
+}
+
+func TestYCSBConfigValidation(t *testing.T) {
+	bad := []func(*YCSBConfig){
+		func(c *YCSBConfig) { c.Rows = 0 },
+		func(c *YCSBConfig) { c.TxnsPerThread = 0 },
+		func(c *YCSBConfig) { c.AccessesPerTxn = 0 },
+		func(c *YCSBConfig) { c.ReadPct = 101 },
+		func(c *YCSBConfig) { c.Theta = 1.0 },
+		func(c *YCSBConfig) { c.Threads = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultYCSBConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestConcurrentTxnIntegrity checks a bank-transfer-style invariant: each
+// transaction moves value between two rows under 2PL; the global sum must be
+// conserved.
+func TestConcurrentTxnIntegrity(t *testing.T) {
+	const rows = 64
+	tab := NewTable(rows, NewSkipVectorIndex(rows))
+	var fields [FieldsPerRow]uint64
+	fields[0] = 100
+	for k := int64(0); k < rows; k++ {
+		tab.InsertRow(k, fields)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := workload.NewRNG(seed)
+			tx := NewTxn(tab)
+			for i := 0; i < 2000; i++ {
+				a := rng.Intn(rows)
+				b := rng.Intn(rows)
+				if a == b {
+					continue
+				}
+				ra, err := tx.Update(a)
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				rb, err := tx.Update(b)
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				if ra.F[0] > 0 {
+					ra.F[0]--
+					rb.F[0]++
+				}
+				tx.Commit()
+			}
+		}(uint64(w) + 1)
+	}
+	wg.Wait()
+	var sum uint64
+	for k := int64(0); k < rows; k++ {
+		rid, _ := tab.Index().Lookup(k)
+		sum += tab.Row(rid).F[0]
+	}
+	if sum != rows*100 {
+		t.Fatalf("sum = %d, want %d", sum, rows*100)
+	}
+}
+
+func TestTxnScan(t *testing.T) {
+	tab := NewTable(100, NewSkipVectorIndex(100))
+	var fields [FieldsPerRow]uint64
+	for k := int64(0); k < 100; k++ {
+		fields[0] = uint64(k * 3)
+		tab.InsertRow(k, fields)
+	}
+	tx := NewTxn(tab)
+	var keys []int64
+	err := tx.Scan(10, 5, func(key int64, row *Row) {
+		keys = append(keys, key)
+		if row.F[0] != uint64(key*3) {
+			t.Fatalf("row payload mismatch at %d", key)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 11, 12, 13, 14}
+	if len(keys) != len(want) {
+		t.Fatalf("scanned %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scanned %v, want %v", keys, want)
+		}
+	}
+	if tx.Locked() != 5 {
+		t.Fatalf("scan holds %d locks, want 5", tx.Locked())
+	}
+	tx.Commit()
+	if tx.Locked() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+func TestTxnScanConflict(t *testing.T) {
+	tab := NewTable(10, NewSkipVectorIndex(10))
+	var fields [FieldsPerRow]uint64
+	for k := int64(0); k < 10; k++ {
+		tab.InsertRow(k, fields)
+	}
+	blocker := NewTxn(tab)
+	if _, err := blocker.Update(5); err != nil {
+		t.Fatal(err)
+	}
+	tx := NewTxn(tab)
+	err := tx.Scan(3, 5, func(int64, *Row) {})
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("scan over write lock: %v", err)
+	}
+	tx.Abort()
+	blocker.Commit()
+}
+
+func TestTxnSelfLockReuse(t *testing.T) {
+	tab := NewTable(10, NewSkipVectorIndex(10))
+	var fields [FieldsPerRow]uint64
+	for k := int64(0); k < 10; k++ {
+		tab.InsertRow(k, fields)
+	}
+	tx := NewTxn(tab)
+	// Read then upgrade to write on the same row.
+	if _, err := tx.Read(4); err != nil {
+		t.Fatal(err)
+	}
+	row, err := tx.Update(4)
+	if err != nil {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+	row.F[0] = 9
+	// Write then read the same row.
+	if _, err := tx.Read(4); err != nil {
+		t.Fatal(err)
+	}
+	// Scan crossing the written row.
+	if err := tx.Scan(2, 5, func(int64, *Row) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Double update.
+	if _, err := tx.Update(4); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if tx.Locked() != 0 {
+		t.Fatal("locks leaked after self-lock reuse")
+	}
+	// The lock word must be fully released.
+	tx2 := NewTxn(tab)
+	if _, err := tx2.Update(4); err != nil {
+		t.Fatalf("row still locked after commit: %v", err)
+	}
+	tx2.Commit()
+}
+
+func TestTxnUpgradeConflictsWithOtherReaders(t *testing.T) {
+	tab := NewTable(4, NewSkipVectorIndex(4))
+	var fields [FieldsPerRow]uint64
+	tab.InsertRow(1, fields)
+	tx1, tx2 := NewTxn(tab), NewTxn(tab)
+	if _, err := tx1.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Update(1); !errors.Is(err, ErrAbort) {
+		t.Fatalf("upgrade over another reader: %v", err)
+	}
+	tx1.Abort()
+	tx2.Commit()
+}
+
+func TestRunYCSBWithScans(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadPct = 70
+	cfg.ScanPct = 20
+	cfg.ScanLen = 8
+	cfg.TxnsPerThread = 150
+	tab, err := LoadTable(cfg, NewSkipVectorIndex(cfg.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunYCSB(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Threads * cfg.TxnsPerThread)
+	if res.Committed != want {
+		t.Fatalf("committed %d, want %d (aborts %d)", res.Committed, want, res.Aborts)
+	}
+}
+
+func TestScanConfigValidation(t *testing.T) {
+	cfg := DefaultYCSBConfig()
+	cfg.ScanPct = 20 // ReadPct 90 + 20 > 100
+	if cfg.Validate() == nil {
+		t.Fatal("over-100 mix accepted")
+	}
+	cfg.ReadPct = 70
+	cfg.ScanLen = 0
+	if cfg.Validate() == nil {
+		t.Fatal("scan without ScanLen accepted")
+	}
+	cfg.ScanLen = 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hideBulk wraps an index to suppress its BulkLoader implementation so the
+// per-row load path can be compared against the bulk path.
+type hideBulk struct{ Index }
+
+func TestLoadTableBulkMatchesIncremental(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rows = 2048
+	fast, err := LoadTable(cfg, NewSkipVectorIndex(cfg.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := LoadTable(cfg, &hideBulk{Index: NewSkipVectorIndex(cfg.Rows)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < cfg.Rows; k += 7 {
+		fr, fok := fast.Index().Lookup(k)
+		sr, sok := slow.Index().Lookup(k)
+		if !fok || !sok {
+			t.Fatalf("key %d missing (fast=%t slow=%t)", k, fok, sok)
+		}
+		// Same deterministic RNG stream: row contents must be identical.
+		if fast.Row(fr).F != slow.Row(sr).F {
+			t.Fatalf("row %d differs between load paths", k)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package dbx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"skipvector/internal/workload"
+)
+
+// YCSBConfig describes the Figure 6 workload: a single table, transactions
+// of AccessesPerTxn row touches, ReadPct% of them reads, keys Zipfian.
+type YCSBConfig struct {
+	// Rows is the table size (paper: 24M; scaled reproductions use less).
+	Rows int64
+	// TxnsPerThread is the per-worker transaction count (paper: 100K).
+	TxnsPerThread int
+	// AccessesPerTxn is the number of row touches per transaction (16).
+	AccessesPerTxn int
+	// ReadPct is the percentage of accesses that are reads (90).
+	ReadPct int
+	// ScanPct is the percentage of accesses that are short scans (YCSB-E
+	// style; 0 in the paper's Figure 6). Scans are carved out of the read
+	// share: ReadPct+ScanPct must not exceed 100.
+	ScanPct int
+	// ScanLen is the number of rows per scan access (default 16 when
+	// ScanPct > 0).
+	ScanLen int
+	// Theta is the Zipfian skew (0.1 / 0.6 / 0.9 in the paper).
+	Theta float64
+	// Threads is the worker count.
+	Threads int
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxRetries bounds NO_WAIT retry storms per transaction; the
+	// transaction is counted as aborted permanently beyond it. Zero means
+	// retry forever (DBx1000's behaviour).
+	MaxRetries int
+}
+
+// DefaultYCSBConfig mirrors the paper's Figure 6 parameters scaled to a
+// single-machine reproduction.
+func DefaultYCSBConfig() YCSBConfig {
+	return YCSBConfig{
+		Rows:           1 << 20,
+		TxnsPerThread:  10_000,
+		AccessesPerTxn: 16,
+		ReadPct:        90,
+		Theta:          0.6,
+		Threads:        4,
+		Seed:           0xdb1000,
+	}
+}
+
+// Validate checks the workload parameters.
+func (c *YCSBConfig) Validate() error {
+	switch {
+	case c.Rows < 1:
+		return fmt.Errorf("dbx: Rows %d < 1", c.Rows)
+	case c.TxnsPerThread < 1:
+		return fmt.Errorf("dbx: TxnsPerThread %d < 1", c.TxnsPerThread)
+	case c.AccessesPerTxn < 1:
+		return fmt.Errorf("dbx: AccessesPerTxn %d < 1", c.AccessesPerTxn)
+	case c.ReadPct < 0 || c.ReadPct > 100:
+		return fmt.Errorf("dbx: ReadPct %d outside [0,100]", c.ReadPct)
+	case c.ScanPct < 0 || c.ReadPct+c.ScanPct > 100:
+		return fmt.Errorf("dbx: ScanPct %d invalid with ReadPct %d", c.ScanPct, c.ReadPct)
+	case c.ScanPct > 0 && c.ScanLen < 1:
+		return fmt.Errorf("dbx: ScanPct set with ScanLen %d", c.ScanLen)
+	case c.Theta < 0 || c.Theta >= 1:
+		return fmt.Errorf("dbx: Theta %v outside [0,1)", c.Theta)
+	case c.Threads < 1:
+		return fmt.Errorf("dbx: Threads %d < 1", c.Threads)
+	}
+	return nil
+}
+
+// YCSBResult reports a run's outcome.
+type YCSBResult struct {
+	Committed  int64
+	Aborts     int64 // NO_WAIT conflicts encountered (retries)
+	Elapsed    time.Duration
+	Throughput float64 // committed transactions per second
+}
+
+// BulkLoader is the optional fast-load interface an Index may implement:
+// given ascending keys and their row IDs, build the index in one pass. It
+// is only called during table load, before the index is shared.
+type BulkLoader interface {
+	BulkLoad(keys []int64, rids []RowID) error
+}
+
+// LoadTable builds and populates a table with cfg.Rows rows keyed 0..Rows-1
+// over the given index. Indexes implementing BulkLoader are built in one
+// O(n) pass; others receive per-row inserts.
+func LoadTable(cfg YCSBConfig, index Index) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := NewTable(cfg.Rows, index)
+	rng := workload.NewRNG(cfg.Seed)
+	var fields [FieldsPerRow]uint64
+
+	if bl, ok := index.(BulkLoader); ok {
+		keys := make([]int64, cfg.Rows)
+		rids := make([]RowID, cfg.Rows)
+		for k := int64(0); k < cfg.Rows; k++ {
+			for f := range fields {
+				fields[f] = rng.Uint64()
+			}
+			rid := RowID(t.used.Add(1) - 1)
+			t.rows[rid].F = fields
+			keys[k], rids[k] = k, rid
+		}
+		if err := bl.BulkLoad(keys, rids); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+
+	for k := int64(0); k < cfg.Rows; k++ {
+		for f := range fields {
+			fields[f] = rng.Uint64()
+		}
+		if _, err := t.InsertRow(k, fields); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// RunYCSB executes the workload against a pre-loaded table and reports
+// committed-transaction throughput, the paper's Figure 6 metric.
+func RunYCSB(t *Table, cfg YCSBConfig) (YCSBResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return YCSBResult{}, err
+	}
+	type stats struct {
+		committed, aborts int64
+	}
+	results := make([]stats, cfg.Threads)
+	root := workload.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
+	shared := workload.NewZipfKeys(root.Split(), cfg.Rows, cfg.Theta, cfg.Seed)
+
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		rng := root.Split()
+		keys := shared.WithRNG(rng)
+		wg.Add(1)
+		go func(id int, rng *workload.RNG, keys workload.KeyGen) {
+			defer wg.Done()
+			tx := NewTxn(t)
+			var st stats
+			accessKeys := make([]int64, cfg.AccessesPerTxn)
+			kinds := make([]accessKind, cfg.AccessesPerTxn)
+			for i := 0; i < cfg.TxnsPerThread; i++ {
+				// Pre-draw the transaction's access set so retries replay
+				// the same logical transaction (as DBx1000 does). Keys are
+				// deduplicated within a transaction: with NO_WAIT locking a
+				// repeated key would self-conflict (DBx1000 instead merges
+				// duplicate accesses onto one lock request).
+				for a := range accessKeys {
+					for {
+						k := keys.Next()
+						dup := false
+						for b := 0; b < a; b++ {
+							if accessKeys[b] == k {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							accessKeys[a] = k
+							break
+						}
+					}
+					r := int(rng.Intn(100))
+					switch {
+					case r < cfg.ReadPct:
+						kinds[a] = accessRead
+					case r < cfg.ReadPct+cfg.ScanPct:
+						kinds[a] = accessScan
+					default:
+						kinds[a] = accessUpdate
+					}
+				}
+				retries := 0
+				for {
+					if ok := runOneTxn(tx, cfg, accessKeys, kinds, rng); ok {
+						st.committed++
+						break
+					}
+					st.aborts++
+					retries++
+					if cfg.MaxRetries > 0 && retries >= cfg.MaxRetries {
+						break
+					}
+					// Yield before retrying so the conflicting holder can
+					// finish; NO_WAIT otherwise livelocks on oversubscribed
+					// schedulers.
+					runtime.Gosched()
+				}
+			}
+			results[id] = st
+		}(w, rng, keys)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	var out YCSBResult
+	out.Elapsed = elapsed
+	for _, st := range results {
+		out.Committed += st.committed
+		out.Aborts += st.aborts
+	}
+	out.Throughput = float64(out.Committed) / elapsed.Seconds()
+	return out, nil
+}
+
+// runOneTxn executes one YCSB transaction under strict 2PL, returning false
+// on a NO_WAIT abort.
+func runOneTxn(tx *Txn, cfg YCSBConfig, keys []int64, kinds []accessKind, rng *workload.RNG) bool {
+	var sink uint64
+	for a, k := range keys {
+		switch kinds[a] {
+		case accessRead:
+			row, err := tx.Read(k)
+			if err != nil {
+				tx.Abort()
+				return false
+			}
+			sink += row.F[int(rng.Intn(FieldsPerRow))]
+		case accessScan:
+			err := tx.Scan(k, cfg.ScanLen, func(_ int64, row *Row) {
+				sink += row.F[0]
+			})
+			if err != nil {
+				tx.Abort()
+				return false
+			}
+		default:
+			row, err := tx.Update(k)
+			if err != nil {
+				tx.Abort()
+				return false
+			}
+			row.F[int(rng.Intn(FieldsPerRow))] = rng.Uint64()
+		}
+	}
+	_ = sink
+	tx.Commit()
+	return true
+}

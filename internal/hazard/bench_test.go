@@ -1,0 +1,40 @@
+package hazard
+
+import "testing"
+
+func BenchmarkProtectClear(b *testing.B) {
+	d := NewDomain[nodeT](nil)
+	h := d.NewHandle()
+	n := &nodeT{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Protect(0, n)
+		h.Clear(0)
+	}
+}
+
+func BenchmarkRetireScan(b *testing.B) {
+	d := NewDomain[nodeT](func(*nodeT) {})
+	h := d.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Retire(&nodeT{id: i})
+	}
+	b.StopTimer()
+	h.Flush()
+}
+
+func BenchmarkClearAll(b *testing.B) {
+	d := NewDomain[nodeT](nil)
+	h := d.NewHandle()
+	n := &nodeT{}
+	for i := 0; i < SlotsPerHandle; i++ {
+		h.Protect(i, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ClearAll()
+		h.Protect(0, n)
+		h.Protect(3, n)
+	}
+}

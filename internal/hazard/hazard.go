@@ -1,0 +1,181 @@
+// Package hazard implements Michael-style hazard pointers, the precise
+// memory-reclamation scheme the skip vector pairs with sequence locks
+// (Section III-B of the paper, citing Michael [9]).
+//
+// In the paper's C++ implementation, hazard pointers prevent a node from
+// being freed while another thread may still dereference it, giving a tight
+// bound on garbage. Go's collector already guarantees memory safety, so a
+// literal port would be invisible; instead this package drives an explicit
+// node-recycling freelist: retired nodes are pushed onto the freelist — and
+// thus become eligible for immediate reuse — only once a scan proves no
+// handle still protects them. That reproduces both sides of the paper's
+// claim: the protocol's per-traversal publication cost on the read path and
+// the bounded-garbage property on the write path (at most R retired nodes
+// per handle await a scan). The skip vector's "Leak" configurations bypass
+// this package entirely and let the collector reclaim nodes, mirroring the
+// paper's leaky baselines.
+//
+// The usual hazard-pointer subtlety — publishing a pointer and then
+// re-checking that it is still reachable — composes with sequence locks
+// exactly as the paper describes: after publishing a hazard pointer for a
+// node found in some predecessor, validating the predecessor's sequence lock
+// proves the node had not been unlinked when the hazard pointer became
+// visible (unlinking bumps the predecessor's sequence number before the node
+// is retired).
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SlotsPerHandle is the number of hazard pointers each handle can hold at
+// once. Skip vector traversals need at most a handful (current node, next or
+// down node, and short-lived extras around merges), far below this bound.
+const SlotsPerHandle = 8
+
+// scanThreshold is the retired-list length that triggers a scan. Michael's
+// analysis wants R = Ω(H) where H is the total slot count; a fixed small
+// constant keeps garbage tightly bounded, which is the property the paper
+// highlights.
+const scanThreshold = 64
+
+// Domain tracks every handle's hazard slots and supplies Retire/scan. A
+// domain is typically owned by one data structure instance. T is the node
+// type being protected.
+type Domain[T any] struct {
+	mu      sync.Mutex // guards handles slice growth
+	handles atomic.Pointer[[]*Handle[T]]
+
+	// recycle receives nodes proven unreachable; typically it pushes them
+	// onto a freelist. If nil, nodes are simply dropped for the GC.
+	recycle func(*T)
+
+	// retiredCount tracks nodes retired but not yet recycled, across all
+	// handles. Exposed for tests and stats: it is the "bounded garbage".
+	retiredCount atomic.Int64
+	recycled     atomic.Int64
+}
+
+// NewDomain creates a hazard-pointer domain. recycle, if non-nil, is invoked
+// (on the retiring goroutine) for each node once no hazard pointer can
+// reference it.
+func NewDomain[T any](recycle func(*T)) *Domain[T] {
+	d := &Domain[T]{recycle: recycle}
+	empty := make([]*Handle[T], 0)
+	d.handles.Store(&empty)
+	return d
+}
+
+// Handle is a participant's set of hazard-pointer slots plus its private
+// retired list. Handles are not safe for concurrent use; acquire one per
+// goroutine (or pool them).
+type Handle[T any] struct {
+	domain  *Domain[T]
+	slots   [SlotsPerHandle]atomic.Pointer[T]
+	used    int // high-water mark of slots in use (stack discipline not required)
+	retired []*T
+	inUse   atomic.Bool
+}
+
+// NewHandle registers a new handle with the domain. Handles are never
+// unregistered (their slots read as nil once released); pools should reuse
+// them via Acquire/ReleaseToPool semantics of the caller.
+func (d *Domain[T]) NewHandle() *Handle[T] {
+	h := &Handle[T]{domain: d, retired: make([]*T, 0, scanThreshold+8)}
+	h.inUse.Store(true)
+	d.mu.Lock()
+	old := *d.handles.Load()
+	next := make([]*Handle[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = h
+	d.handles.Store(&next)
+	d.mu.Unlock()
+	return h
+}
+
+// Handles returns the number of registered handles (for stats/tests).
+func (d *Domain[T]) Handles() int { return len(*d.handles.Load()) }
+
+// RetiredCount returns the number of nodes retired but not yet recycled.
+func (d *Domain[T]) RetiredCount() int64 { return d.retiredCount.Load() }
+
+// RecycledCount returns the number of nodes passed to the recycle hook.
+func (d *Domain[T]) RecycledCount() int64 { return d.recycled.Load() }
+
+// Protect publishes p in slot i. The caller must subsequently re-validate
+// (via the owning node's sequence lock) that p is still reachable before
+// dereferencing it. Protecting nil clears the slot.
+func (h *Handle[T]) Protect(i int, p *T) {
+	h.slots[i].Store(p)
+}
+
+// Slot returns the pointer currently protected by slot i (nil when free).
+func (h *Handle[T]) Slot(i int) *T {
+	return h.slots[i].Load()
+}
+
+// Clear drops the hazard pointer in slot i.
+func (h *Handle[T]) Clear(i int) {
+	h.slots[i].Store(nil)
+}
+
+// ClearAll drops every hazard pointer held by the handle. Called on
+// operation restart ("HP.dropAll" in the paper's listings).
+func (h *Handle[T]) ClearAll() {
+	for i := range h.slots {
+		if h.slots[i].Load() != nil {
+			h.slots[i].Store(nil)
+		}
+	}
+}
+
+// Retire marks p as logically deleted ("HP.mark" in the listings). Once no
+// handle protects p, it is handed to the domain's recycle hook. Retire may
+// trigger a scan of all handles' slots.
+func (h *Handle[T]) Retire(p *T) {
+	h.retired = append(h.retired, p)
+	h.domain.retiredCount.Add(1)
+	if len(h.retired) >= scanThreshold {
+		h.scan()
+	}
+}
+
+// Flush forces a scan regardless of the retired-list length. Useful when a
+// handle is about to be parked in a pool.
+func (h *Handle[T]) Flush() {
+	if len(h.retired) > 0 {
+		h.scan()
+	}
+}
+
+// scan implements Michael's reclamation scan: snapshot every published
+// hazard pointer, then recycle retired nodes not in the snapshot.
+func (h *Handle[T]) scan() {
+	handles := *h.domain.handles.Load()
+	protected := make(map[*T]struct{}, len(handles)*2)
+	for _, other := range handles {
+		for i := range other.slots {
+			if p := other.slots[i].Load(); p != nil {
+				protected[p] = struct{}{}
+			}
+		}
+	}
+	keep := h.retired[:0]
+	for _, p := range h.retired {
+		if _, live := protected[p]; live {
+			keep = append(keep, p)
+			continue
+		}
+		h.domain.retiredCount.Add(-1)
+		h.domain.recycled.Add(1)
+		if h.domain.recycle != nil {
+			h.domain.recycle(p)
+		}
+	}
+	// Zero the tail so recycled nodes are not pinned by the backing array.
+	for i := len(keep); i < len(h.retired); i++ {
+		h.retired[i] = nil
+	}
+	h.retired = keep
+}

@@ -1,0 +1,219 @@
+// Package lincheck is a small linearizability checker for ordered-map
+// histories, in the style of Wing & Gong. The test suite uses it to verify
+// the skip vector's central claim (Section IV-C): every concurrent history
+// of Lookup/Insert/Remove operations is equivalent to some sequential
+// history that respects real-time order.
+//
+// The checker does an exhaustive search with memoization, so it is meant
+// for small histories (tens of operations): record a short concurrent run
+// with Recorder, then call Check.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the operation type in a history.
+type Kind int
+
+// Operation kinds.
+const (
+	KindLookup Kind = iota + 1
+	KindInsert
+	KindRemove
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLookup:
+		return "lookup"
+	case KindInsert:
+		return "insert"
+	case KindRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one completed operation with its real-time interval. Timestamps
+// come from the Recorder's global logical clock: Invoke < Return for each
+// event, and intervals order events when they do not overlap.
+type Event struct {
+	Proc   int
+	Kind   Kind
+	Key    int64
+	Val    int64 // value argument for Insert
+	RetOK  bool  // operation's boolean result (found / inserted / removed)
+	RetVal int64 // value returned by a successful Lookup
+	Invoke int64
+	Return int64
+}
+
+// String renders the event for failure messages.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindInsert:
+		return fmt.Sprintf("P%d insert(%d,%d)=%t @[%d,%d]", e.Proc, e.Key, e.Val, e.RetOK, e.Invoke, e.Return)
+	case KindRemove:
+		return fmt.Sprintf("P%d remove(%d)=%t @[%d,%d]", e.Proc, e.Key, e.RetOK, e.Invoke, e.Return)
+	default:
+		return fmt.Sprintf("P%d lookup(%d)=(%d,%t) @[%d,%d]", e.Proc, e.Key, e.RetVal, e.RetOK, e.Invoke, e.Return)
+	}
+}
+
+// Recorder collects events from concurrent goroutines with a shared logical
+// clock. All methods are safe for concurrent use.
+type Recorder struct {
+	clock  atomic.Int64
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin returns an invocation timestamp.
+func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
+
+// End records a completed operation whose invocation timestamp was inv.
+func (r *Recorder) End(e Event, inv int64) {
+	e.Invoke = inv
+	e.Return = r.clock.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// History returns the recorded events.
+func (r *Recorder) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Check reports whether the history is linearizable with respect to the
+// sequential map specification (Section IV-A): Insert fails iff the key is
+// present, Remove succeeds iff present, Lookup returns the mapped value.
+// The second return is a human-readable explanation when the check fails.
+func Check(history []Event) (bool, string) {
+	n := len(history)
+	if n == 0 {
+		return true, ""
+	}
+	if n > 24 {
+		return false, "lincheck: history too large for exhaustive checking (max 24 events)"
+	}
+	evs := make([]Event, n)
+	copy(evs, history)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Invoke < evs[j].Invoke })
+
+	type stateKey struct {
+		mask uint32
+		sig  string
+	}
+	visited := map[stateKey]bool{}
+
+	// DFS over linearization prefixes. state is the map contents.
+	var dfs func(mask uint32, state map[int64]int64) bool
+	dfs = func(mask uint32, state map[int64]int64) bool {
+		if mask == (uint32(1)<<n)-1 {
+			return true
+		}
+		key := stateKey{mask: mask, sig: sigOf(state)}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+
+		// minReturn over remaining events: an event may linearize next only
+		// if no remaining event returned strictly before it was invoked.
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && evs[i].Return < minReturn {
+				minReturn = evs[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			e := evs[i]
+			if e.Invoke > minReturn {
+				continue // some remaining op strictly precedes e
+			}
+			old, had := state[e.Key]
+			if !applies(e, state) {
+				continue
+			}
+			if dfs(mask|(1<<i), state) {
+				return true
+			}
+			// Undo.
+			if had {
+				state[e.Key] = old
+			} else {
+				delete(state, e.Key)
+			}
+		}
+		return false
+	}
+
+	if dfs(0, map[int64]int64{}) {
+		return true, ""
+	}
+	var b strings.Builder
+	b.WriteString("history not linearizable:\n")
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return false, b.String()
+}
+
+// applies checks e against the sequential spec and, when consistent,
+// applies its effect to state.
+func applies(e Event, state map[int64]int64) bool {
+	v, present := state[e.Key]
+	switch e.Kind {
+	case KindLookup:
+		return e.RetOK == present && (!present || e.RetVal == v)
+	case KindInsert:
+		if e.RetOK == present {
+			return false
+		}
+		if e.RetOK {
+			state[e.Key] = e.Val
+		}
+		return true
+	case KindRemove:
+		if e.RetOK != present {
+			return false
+		}
+		if e.RetOK {
+			delete(state, e.Key)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// sigOf serializes the map state for memoization.
+func sigOf(state map[int64]int64) string {
+	keys := make([]int64, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%d;", k, state[k])
+	}
+	return b.String()
+}

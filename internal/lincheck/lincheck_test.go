@@ -1,0 +1,165 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// seq builds a strictly sequential history from (kind,key,val,ok,retval).
+func seq(events ...Event) []Event {
+	ts := int64(0)
+	out := make([]Event, len(events))
+	for i, e := range events {
+		ts++
+		e.Invoke = ts
+		ts++
+		e.Return = ts
+		out[i] = e
+	}
+	return out
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if ok, _ := Check(nil); !ok {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestSequentialLegalHistory(t *testing.T) {
+	h := seq(
+		Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+		Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+		Event{Kind: KindInsert, Key: 1, Val: 20, RetOK: false},
+		Event{Kind: KindRemove, Key: 1, RetOK: true},
+		Event{Kind: KindLookup, Key: 1, RetOK: false},
+		Event{Kind: KindRemove, Key: 1, RetOK: false},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestSequentialIllegalHistories(t *testing.T) {
+	cases := [][]Event{
+		// Lookup finds a key never inserted.
+		seq(Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 5}),
+		// Double successful insert.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 1, RetOK: true},
+			Event{Kind: KindInsert, Key: 1, Val: 2, RetOK: true},
+		),
+		// Remove succeeds on absent key.
+		seq(Event{Kind: KindRemove, Key: 9, RetOK: true}),
+		// Lookup returns the wrong value.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+			Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 11},
+		),
+		// Lookup misses a key that must be present.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+			Event{Kind: KindLookup, Key: 1, RetOK: false},
+		),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal history accepted", i)
+		}
+	}
+}
+
+func TestOverlappingOpsReorder(t *testing.T) {
+	// Lookup overlaps an insert: both outcomes are linearizable.
+	for _, found := range []bool{true, false} {
+		h := []Event{
+			{Kind: KindInsert, Key: 1, Val: 10, RetOK: true, Invoke: 1, Return: 4},
+			{Kind: KindLookup, Key: 1, RetOK: found, RetVal: 10, Invoke: 2, Return: 3},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("found=%t: %s", found, msg)
+		}
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Lookup strictly after a successful insert must find the key.
+	h := []Event{
+		{Kind: KindInsert, Key: 1, Val: 10, RetOK: true, Invoke: 1, Return: 2},
+		{Kind: KindLookup, Key: 1, RetOK: false, Invoke: 3, Return: 4},
+	}
+	if ok, _ := Check(h); ok {
+		t.Fatal("stale lookup after completed insert accepted")
+	}
+}
+
+func TestConcurrentInsertsOnlyOneWins(t *testing.T) {
+	// Two overlapping inserts of the same key: exactly one may succeed.
+	legal := []Event{
+		{Proc: 0, Kind: KindInsert, Key: 5, Val: 1, RetOK: true, Invoke: 1, Return: 5},
+		{Proc: 1, Kind: KindInsert, Key: 5, Val: 2, RetOK: false, Invoke: 2, Return: 6},
+	}
+	if ok, msg := Check(legal); !ok {
+		t.Fatal(msg)
+	}
+	illegal := []Event{
+		{Proc: 0, Kind: KindInsert, Key: 5, Val: 1, RetOK: true, Invoke: 1, Return: 5},
+		{Proc: 1, Kind: KindInsert, Key: 5, Val: 2, RetOK: true, Invoke: 2, Return: 6},
+	}
+	if ok, _ := Check(illegal); ok {
+		t.Fatal("two winning inserts accepted")
+	}
+}
+
+func TestInsertRemoveInterleaving(t *testing.T) {
+	// insert || remove of same key where remove runs entirely within the
+	// insert's interval: remove=true requires insert linearized first.
+	h := []Event{
+		{Kind: KindInsert, Key: 7, Val: 3, RetOK: true, Invoke: 1, Return: 6},
+		{Kind: KindRemove, Key: 7, RetOK: true, Invoke: 2, Return: 5},
+		{Kind: KindLookup, Key: 7, RetOK: false, Invoke: 7, Return: 8},
+	}
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestTooLargeHistoryRejected(t *testing.T) {
+	var h []Event
+	for i := 0; i < 25; i++ {
+		h = append(h, Event{Kind: KindLookup, Key: 1, Invoke: int64(2*i + 1), Return: int64(2*i + 2)})
+	}
+	if ok, msg := Check(h); ok || msg == "" {
+		t.Fatal("oversized history should be rejected with a message")
+	}
+}
+
+func TestRecorderTimestamps(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				inv := r.Begin()
+				r.End(Event{Proc: p, Kind: KindLookup, Key: int64(i)}, inv)
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != 20 {
+		t.Fatalf("recorded %d events", len(h))
+	}
+	for _, e := range h {
+		if e.Invoke >= e.Return {
+			t.Fatalf("event %v has inverted interval", e)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLookup.String() != "lookup" || KindInsert.String() != "insert" || KindRemove.String() != "remove" {
+		t.Fatal("Kind strings wrong")
+	}
+}

@@ -1,0 +1,58 @@
+package seqlock
+
+import "testing"
+
+func BenchmarkReadValidate(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		v, ok := l.ReadVersion()
+		if !ok || !l.Validate(v) {
+			b.Fatal("uncontended read failed")
+		}
+	}
+}
+
+func BenchmarkAcquireRelease(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		l.Acquire()
+		l.Release()
+	}
+}
+
+func BenchmarkFreezeUpgradeRelease(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		v, _ := l.ReadVersion()
+		fv, ok := l.TryFreeze(v)
+		if !ok {
+			b.Fatal("freeze failed")
+		}
+		_ = fv
+		l.UpgradeFrozen()
+		l.Release()
+	}
+}
+
+func BenchmarkTryUpgrade(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		v, _ := l.ReadVersion()
+		if !l.TryUpgrade(v) {
+			b.Fatal("upgrade failed")
+		}
+		l.Release()
+	}
+}
+
+func BenchmarkReadValidateParallel(b *testing.B) {
+	var l Lock
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v, ok := l.ReadVersion()
+			if ok {
+				l.Validate(v)
+			}
+		}
+	})
+}

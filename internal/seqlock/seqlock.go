@@ -1,0 +1,247 @@
+// Package seqlock implements the sequence lock used by every skip vector
+// node. It is a 64-bit word that combines a spinlock, a monotonically
+// increasing sequence number, and two boolean flags described in Section III
+// of the paper:
+//
+//   - isLocked (bit 0): set while a writer holds the lock.
+//   - isFrozen (bit 1): set by Insert to reserve a node. Only the freezing
+//     thread may later acquire the lock; other threads may still read the
+//     node optimistically, but any attempt by them to lock or freeze it
+//     fails and forces a restart.
+//   - isOrphan (bit 2): set when the node has no parent entry in the layer
+//     above (it is reachable only via its predecessor's next pointer).
+//   - bits 3..63: the sequence number, incremented on every release that
+//     followed a modification.
+//
+// A read-side critical section takes a snapshot of the word (ReadVersion),
+// reads node fields, and then checks that the word is unchanged (Validate).
+// Because the word changes whenever a writer acquires, freezes, or releases
+// the lock, an unchanged word proves the reads were consistent.
+//
+// All transitions use atomic operations, so the package is safe under the Go
+// memory model and clean under the race detector.
+package seqlock
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Bit layout of the lock word.
+const (
+	lockedBit = uint64(1) << 0
+	frozenBit = uint64(1) << 1
+	orphanBit = uint64(1) << 2
+	seqIncr   = uint64(1) << 3
+
+	flagMask = lockedBit | frozenBit | orphanBit
+)
+
+// spinBudget bounds how long ReadVersion and Acquire spin before yielding
+// the processor. Sequence locks are held for very short critical sections,
+// so a short spin usually suffices; yielding keeps single-core machines and
+// oversubscribed GOMAXPROCS configurations live.
+const spinBudget = 64
+
+// Version is a snapshot of the lock word, used to validate optimistic reads.
+type Version uint64
+
+// Locked reports whether the snapshot was taken while a writer held the lock.
+func (v Version) Locked() bool { return uint64(v)&lockedBit != 0 }
+
+// Frozen reports whether the snapshot was taken while the node was frozen.
+func (v Version) Frozen() bool { return uint64(v)&frozenBit != 0 }
+
+// Orphan reports whether the node was an orphan at snapshot time.
+func (v Version) Orphan() bool { return uint64(v)&orphanBit != 0 }
+
+// Seq returns the sequence number portion of the snapshot.
+func (v Version) Seq() uint64 { return uint64(v) >> 3 }
+
+// String formats the version for debugging.
+func (v Version) String() string {
+	return fmt.Sprintf("seq=%d locked=%t frozen=%t orphan=%t",
+		v.Seq(), v.Locked(), v.Frozen(), v.Orphan())
+}
+
+// Lock is the per-node sequence lock. The zero value is an unlocked,
+// unfrozen, non-orphan lock with sequence number zero.
+type Lock struct {
+	word atomic.Uint64
+}
+
+// ReadVersion snapshots the lock word for an optimistic read-side critical
+// section. It spins briefly while a writer holds the lock; if the lock stays
+// held it returns ok=false so the caller can restart rather than block.
+// A frozen (but unlocked) node is readable: the returned version carries the
+// frozen bit and remains valid until the freezer upgrades or thaws.
+func (l *Lock) ReadVersion() (Version, bool) {
+	for i := 0; ; i++ {
+		w := l.word.Load()
+		if w&lockedBit == 0 {
+			return Version(w), true
+		}
+		if i >= spinBudget {
+			return Version(w), false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Validate reports whether the lock word still equals the snapshot v, which
+// proves that no writer acquired, froze, thawed, or released the lock since
+// v was taken, and therefore that all reads made under v were consistent.
+func (l *Lock) Validate(v Version) bool {
+	return l.word.Load() == uint64(v)
+}
+
+// TryUpgrade atomically upgrades a reader holding snapshot v into a writer.
+// It fails (returning false) if the word changed since v was taken, or if v
+// itself carries the locked or frozen bits (a node frozen by another thread
+// must not be locked out from under it).
+func (l *Lock) TryUpgrade(v Version) bool {
+	if uint64(v)&(lockedBit|frozenBit) != 0 {
+		return false
+	}
+	return l.word.CompareAndSwap(uint64(v), uint64(v)|lockedBit)
+}
+
+// TryFreeze atomically sets the frozen bit if the word still equals v and v
+// is neither locked nor already frozen. On success it returns the new
+// version (with the frozen bit set) that subsequent validations against this
+// node must use.
+func (l *Lock) TryFreeze(v Version) (Version, bool) {
+	if uint64(v)&(lockedBit|frozenBit) != 0 {
+		return v, false
+	}
+	next := uint64(v) | frozenBit
+	if l.word.CompareAndSwap(uint64(v), next) {
+		return Version(next), true
+	}
+	return v, false
+}
+
+// Thaw clears the frozen bit without bumping the sequence number. It is
+// called by an Insert that froze the node but then decided not to modify it
+// (for example because the key was already present). Readers that took their
+// snapshot before the freeze remain valid, because the word returns to its
+// pre-freeze value.
+//
+// The caller must be the thread that froze the node, and the node must not
+// be locked.
+func (l *Lock) Thaw() {
+	for {
+		w := l.word.Load()
+		if w&frozenBit == 0 {
+			panic("seqlock: Thaw of non-frozen lock")
+		}
+		if w&lockedBit != 0 {
+			panic("seqlock: Thaw of locked lock")
+		}
+		if l.word.CompareAndSwap(w, w&^frozenBit) {
+			return
+		}
+	}
+}
+
+// Acquire spins until it takes the write lock. It cannot acquire a node that
+// is frozen by another thread; the freezer must upgrade or thaw first. The
+// acquisition itself does not bump the sequence number (the release will),
+// but setting the locked bit immediately invalidates optimistic readers.
+func (l *Lock) Acquire() {
+	for i := 0; ; i++ {
+		w := l.word.Load()
+		if w&(lockedBit|frozenBit) == 0 {
+			if l.word.CompareAndSwap(w, w|lockedBit) {
+				return
+			}
+			continue
+		}
+		if i >= spinBudget {
+			i = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// UpgradeFrozen moves a node from frozen to locked. Only the thread that
+// froze the node may call it. The frozen bit is cleared and the locked bit
+// set in a single atomic transition, so no other thread can sneak in.
+func (l *Lock) UpgradeFrozen() {
+	for {
+		w := l.word.Load()
+		if w&frozenBit == 0 {
+			panic("seqlock: UpgradeFrozen of non-frozen lock")
+		}
+		if w&lockedBit != 0 {
+			panic("seqlock: UpgradeFrozen of locked lock")
+		}
+		if l.word.CompareAndSwap(w, (w&^frozenBit)|lockedBit) {
+			return
+		}
+	}
+}
+
+// Release drops the write lock after a modification: the locked (and frozen)
+// bits are cleared and the sequence number is incremented, invalidating
+// every optimistic reader of the node. It returns the new version so a
+// caller that wants to keep reading the node can continue without reloading.
+func (l *Lock) Release() Version {
+	w := l.word.Load()
+	if w&lockedBit == 0 {
+		panic("seqlock: Release of unlocked lock")
+	}
+	next := (w &^ (lockedBit | frozenBit)) + seqIncr
+	l.word.Store(next)
+	return Version(next)
+}
+
+// Abort drops the write lock without bumping the sequence number. It is only
+// legal when the holder made no modification to the protected data: in that
+// case readers whose snapshots predate the acquisition are still consistent,
+// so restoring the pre-acquisition word lets them validate successfully.
+func (l *Lock) Abort() Version {
+	w := l.word.Load()
+	if w&lockedBit == 0 {
+		panic("seqlock: Abort of unlocked lock")
+	}
+	next := w &^ (lockedBit | frozenBit)
+	l.word.Store(next)
+	return Version(next)
+}
+
+// SetOrphan sets or clears the orphan flag. The caller must hold the write
+// lock: the flag describes structural state that only a locked writer may
+// change. The flag change becomes visible to readers when the lock is
+// released (which bumps the sequence number).
+func (l *Lock) SetOrphan(orphan bool) {
+	for {
+		w := l.word.Load()
+		if w&lockedBit == 0 {
+			panic("seqlock: SetOrphan without holding lock")
+		}
+		var next uint64
+		if orphan {
+			next = w | orphanBit
+		} else {
+			next = w &^ orphanBit
+		}
+		if w == next || l.word.CompareAndSwap(w, next) {
+			return
+		}
+	}
+}
+
+// IsOrphan reports the current orphan flag. Callers performing optimistic
+// reads should prefer Version.Orphan on a validated snapshot.
+func (l *Lock) IsOrphan() bool {
+	return l.word.Load()&orphanBit != 0
+}
+
+// Current returns the instantaneous lock word as a Version. Unlike
+// ReadVersion it does not spin or filter locked states; it is intended for
+// debugging, tests, and invariant checks.
+func (l *Lock) Current() Version {
+	return Version(l.word.Load())
+}

@@ -1,0 +1,330 @@
+package seqlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsUnlocked(t *testing.T) {
+	var l Lock
+	v, ok := l.ReadVersion()
+	if !ok {
+		t.Fatal("zero-value lock should be readable")
+	}
+	if v.Locked() || v.Frozen() || v.Orphan() {
+		t.Fatalf("zero-value lock has flags set: %v", v)
+	}
+	if v.Seq() != 0 {
+		t.Fatalf("zero-value sequence = %d, want 0", v.Seq())
+	}
+}
+
+func TestAcquireReleaseBumpsSequence(t *testing.T) {
+	var l Lock
+	before, _ := l.ReadVersion()
+	l.Acquire()
+	if !l.Current().Locked() {
+		t.Fatal("lock word should carry locked bit after Acquire")
+	}
+	after := l.Release()
+	if after.Locked() {
+		t.Fatal("Release left locked bit set")
+	}
+	if after.Seq() != before.Seq()+1 {
+		t.Fatalf("sequence after release = %d, want %d", after.Seq(), before.Seq()+1)
+	}
+	if l.Validate(before) {
+		t.Fatal("pre-acquire version validated after a release")
+	}
+	if !l.Validate(after) {
+		t.Fatal("version returned by Release should validate")
+	}
+}
+
+func TestAbortRestoresVersion(t *testing.T) {
+	var l Lock
+	before, _ := l.ReadVersion()
+	l.Acquire()
+	got := l.Abort()
+	if got != before {
+		t.Fatalf("Abort returned %v, want pre-acquire %v", got, before)
+	}
+	if !l.Validate(before) {
+		t.Fatal("pre-acquire version should validate after Abort")
+	}
+}
+
+func TestValidateDetectsWriter(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadVersion()
+	l.Acquire()
+	if l.Validate(v) {
+		t.Fatal("Validate passed while lock held")
+	}
+	l.Release()
+	if l.Validate(v) {
+		t.Fatal("Validate passed after a modification release")
+	}
+}
+
+func TestTryUpgrade(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadVersion()
+	if !l.TryUpgrade(v) {
+		t.Fatal("TryUpgrade from a fresh snapshot should succeed")
+	}
+	if !l.Current().Locked() {
+		t.Fatal("TryUpgrade should set locked bit")
+	}
+	l.Release()
+
+	// Stale snapshot must fail.
+	if l.TryUpgrade(v) {
+		t.Fatal("TryUpgrade with stale snapshot should fail")
+	}
+}
+
+func TestTryUpgradeRejectsLockedOrFrozenSnapshot(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadVersion()
+	fv, ok := l.TryFreeze(v)
+	if !ok {
+		t.Fatal("TryFreeze should succeed on fresh snapshot")
+	}
+	if l.TryUpgrade(fv) {
+		t.Fatal("TryUpgrade must reject a frozen snapshot")
+	}
+	l.Thaw()
+}
+
+func TestFreezeThawPreservesPreFreezeReaders(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadVersion()
+	fv, ok := l.TryFreeze(v)
+	if !ok {
+		t.Fatal("TryFreeze failed")
+	}
+	if !fv.Frozen() {
+		t.Fatal("frozen version missing frozen bit")
+	}
+	if l.Validate(v) {
+		t.Fatal("pre-freeze version should not validate while frozen")
+	}
+	l.Thaw()
+	if !l.Validate(v) {
+		t.Fatal("pre-freeze version should validate again after Thaw")
+	}
+}
+
+func TestFreezeBlocksOtherWriters(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadVersion()
+	fv, _ := l.TryFreeze(v)
+
+	// A second freeze attempt from the frozen snapshot must fail.
+	if _, ok := l.TryFreeze(fv); ok {
+		t.Fatal("double freeze should fail")
+	}
+	// Upgrade to a full write lock, modify, release.
+	l.UpgradeFrozen()
+	w := l.Current()
+	if !w.Locked() || w.Frozen() {
+		t.Fatalf("UpgradeFrozen should move frozen->locked, got %v", w)
+	}
+	after := l.Release()
+	if after.Frozen() || after.Locked() {
+		t.Fatalf("release after upgrade left flags: %v", after)
+	}
+	if after.Seq() != fv.Seq()+1 {
+		t.Fatalf("sequence = %d, want %d", after.Seq(), fv.Seq()+1)
+	}
+}
+
+func TestOrphanFlag(t *testing.T) {
+	var l Lock
+	l.Acquire()
+	l.SetOrphan(true)
+	v := l.Release()
+	if !v.Orphan() {
+		t.Fatal("orphan bit lost on release")
+	}
+	if !l.IsOrphan() {
+		t.Fatal("IsOrphan should report true")
+	}
+	l.Acquire()
+	l.SetOrphan(false)
+	v = l.Release()
+	if v.Orphan() {
+		t.Fatal("orphan bit should be cleared")
+	}
+}
+
+func TestReadVersionGivesUpWhileLocked(t *testing.T) {
+	var l Lock
+	l.Acquire()
+	defer l.Release()
+	if _, ok := l.ReadVersion(); ok {
+		t.Fatal("ReadVersion should report failure while writer holds lock")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Release unlocked", func() { new(Lock).Release() })
+	assertPanics("Abort unlocked", func() { new(Lock).Abort() })
+	assertPanics("Thaw unfrozen", func() { new(Lock).Thaw() })
+	assertPanics("UpgradeFrozen unfrozen", func() { new(Lock).UpgradeFrozen() })
+	assertPanics("SetOrphan unlocked", func() { new(Lock).SetOrphan(true) })
+}
+
+// TestConcurrentCounterInvariant drives many writers incrementing a pair of
+// counters that must stay equal, with concurrent optimistic readers that
+// retry on validation failure. A reader must never observe unequal counters
+// on a validated read. As in the skip vector itself, fields read
+// optimistically are atomic slots so the scheme is well-defined under the Go
+// memory model.
+func TestConcurrentCounterInvariant(t *testing.T) {
+	var (
+		l    Lock
+		a, b atomic.Int64 // protected data: invariant a == b
+	)
+	const (
+		writers = 4
+		readers = 4
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Acquire()
+				a.Store(a.Load() + 1)
+				b.Store(b.Load() + 1)
+				l.Release()
+			}
+		}()
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					v, ok := l.ReadVersion()
+					if !ok {
+						continue
+					}
+					x, y := a.Load(), b.Load()
+					if !l.Validate(v) {
+						continue
+					}
+					if x != y {
+						errs <- "validated read observed torn state"
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if a.Load() != int64(writers*iters) || b.Load() != a.Load() {
+		t.Fatalf("final counters a=%d b=%d, want %d", a.Load(), b.Load(), writers*iters)
+	}
+}
+
+// TestConcurrentFreezeExclusion verifies that at most one thread at a time
+// can freeze the lock, and the freeze->upgrade->release path is exclusive.
+func TestConcurrentFreezeExclusion(t *testing.T) {
+	var (
+		l      Lock
+		inCrit int64
+	)
+	const goroutines = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v, ok := l.ReadVersion()
+				if !ok {
+					i--
+					continue
+				}
+				if _, ok := l.TryFreeze(v); !ok {
+					i--
+					continue
+				}
+				l.UpgradeFrozen()
+				inCrit++
+				if inCrit != 1 {
+					errs <- "mutual exclusion violated"
+					l.Release()
+					return
+				}
+				inCrit--
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestVersionBitAlgebra property-tests the flag/sequence packing: any word
+// decodes into flags and sequence that re-encode to the same word.
+func TestVersionBitAlgebra(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := Version(raw)
+		re := v.Seq() << 3
+		if v.Locked() {
+			re |= lockedBit
+		}
+		if v.Frozen() {
+			re |= frozenBit
+		}
+		if v.Orphan() {
+			re |= orphanBit
+		}
+		return re == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceMonotoneUnderReleases(t *testing.T) {
+	var l Lock
+	prev := l.Current().Seq()
+	for i := 0; i < 100; i++ {
+		l.Acquire()
+		v := l.Release()
+		if v.Seq() != prev+1 {
+			t.Fatalf("sequence jumped from %d to %d", prev, v.Seq())
+		}
+		prev = v.Seq()
+	}
+}

@@ -1,0 +1,129 @@
+// Package seqset provides the four single-threaded ordered sets compared in
+// Figure 1 of the paper (after Stroustrup's 2012 vector-vs-list experiment):
+//
+//   - UnsortedVec: O(n) everything, but a single linear scan over a
+//     contiguous array — unbeatable locality at small sizes.
+//   - SortedVec: O(log n) lookup via binary search, O(n) insert/remove via
+//     memmove.
+//   - TreeMap: a left-leaning red-black tree standing in for C++ std::map —
+//     O(log n) everything with pointer chasing on every step.
+//   - SkipList: Pugh's sequential skip list (p = 1/2) — O(log n) expected,
+//     the worst locality of the four.
+//
+// The crossing points between these curves as the key range grows motivate
+// the skip vector: locality dominates until asymptotics take over.
+package seqset
+
+import "sort"
+
+// Set is the common sequential-set interface benchmarked by Figure 1.
+type Set interface {
+	// Insert adds k, returning false if already present.
+	Insert(k int64) bool
+	// Remove deletes k, returning false if absent.
+	Remove(k int64) bool
+	// Contains reports membership.
+	Contains(k int64) bool
+	// Len returns the element count.
+	Len() int
+	// Name identifies the implementation in benchmark output.
+	Name() string
+}
+
+// --- UnsortedVec ------------------------------------------------------------
+
+// UnsortedVec is an unordered slice-backed set.
+type UnsortedVec struct {
+	elems []int64
+}
+
+// NewUnsortedVec returns an empty unsorted-vector set.
+func NewUnsortedVec() *UnsortedVec { return &UnsortedVec{} }
+
+// Name implements Set.
+func (s *UnsortedVec) Name() string { return "unsorted-vector" }
+
+// Len implements Set.
+func (s *UnsortedVec) Len() int { return len(s.elems) }
+
+func (s *UnsortedVec) indexOf(k int64) int {
+	for i, e := range s.elems {
+		if e == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains implements Set.
+func (s *UnsortedVec) Contains(k int64) bool { return s.indexOf(k) >= 0 }
+
+// Insert implements Set.
+func (s *UnsortedVec) Insert(k int64) bool {
+	if s.indexOf(k) >= 0 {
+		return false
+	}
+	s.elems = append(s.elems, k)
+	return true
+}
+
+// Remove implements Set.
+func (s *UnsortedVec) Remove(k int64) bool {
+	i := s.indexOf(k)
+	if i < 0 {
+		return false
+	}
+	last := len(s.elems) - 1
+	s.elems[i] = s.elems[last]
+	s.elems = s.elems[:last]
+	return true
+}
+
+// --- SortedVec --------------------------------------------------------------
+
+// SortedVec keeps its elements in ascending order.
+type SortedVec struct {
+	elems []int64
+}
+
+// NewSortedVec returns an empty sorted-vector set.
+func NewSortedVec() *SortedVec { return &SortedVec{} }
+
+// Name implements Set.
+func (s *SortedVec) Name() string { return "sorted-vector" }
+
+// Len implements Set.
+func (s *SortedVec) Len() int { return len(s.elems) }
+
+func (s *SortedVec) search(k int64) int {
+	return sort.Search(len(s.elems), func(i int) bool { return s.elems[i] >= k })
+}
+
+// Contains implements Set.
+func (s *SortedVec) Contains(k int64) bool {
+	i := s.search(k)
+	return i < len(s.elems) && s.elems[i] == k
+}
+
+// Insert implements Set.
+func (s *SortedVec) Insert(k int64) bool {
+	i := s.search(k)
+	if i < len(s.elems) && s.elems[i] == k {
+		return false
+	}
+	s.elems = append(s.elems, 0)
+	copy(s.elems[i+1:], s.elems[i:])
+	s.elems[i] = k
+	return true
+}
+
+// Remove implements Set.
+func (s *SortedVec) Remove(k int64) bool {
+	i := s.search(k)
+	if i >= len(s.elems) || s.elems[i] != k {
+		return false
+	}
+	copy(s.elems[i:], s.elems[i+1:])
+	s.elems = s.elems[:len(s.elems)-1]
+	return true
+}

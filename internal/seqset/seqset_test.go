@@ -1,0 +1,160 @@
+package seqset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allSets() []func() Set {
+	return []func() Set{
+		func() Set { return NewUnsortedVec() },
+		func() Set { return NewSortedVec() },
+		func() Set { return NewTreeMap() },
+		func() Set { return NewSkipList() },
+	}
+}
+
+func TestBasicSemantics(t *testing.T) {
+	for _, mk := range allSets() {
+		s := mk()
+		t.Run(s.Name(), func(t *testing.T) {
+			if s.Contains(1) {
+				t.Fatal("empty set contains 1")
+			}
+			if !s.Insert(1) || s.Insert(1) {
+				t.Fatal("Insert semantics wrong")
+			}
+			if !s.Contains(1) {
+				t.Fatal("Contains(1) false after insert")
+			}
+			if !s.Remove(1) || s.Remove(1) {
+				t.Fatal("Remove semantics wrong")
+			}
+			if s.Len() != 0 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+		})
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	for _, mk := range allSets() {
+		s := mk()
+		t.Run(s.Name(), func(t *testing.T) {
+			model := map[int64]bool{}
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 8000; i++ {
+				k := int64(rng.Intn(300))
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(k) == model[k] {
+						t.Fatalf("op %d Insert(%d) mismatch", i, k)
+					}
+					model[k] = true
+				case 1:
+					if s.Remove(k) != model[k] {
+						t.Fatalf("op %d Remove(%d) mismatch", i, k)
+					}
+					delete(model, k)
+				default:
+					if s.Contains(k) != model[k] {
+						t.Fatalf("op %d Contains(%d) mismatch", i, k)
+					}
+				}
+				if s.Len() != len(model) {
+					t.Fatalf("op %d Len=%d model=%d", i, s.Len(), len(model))
+				}
+			}
+		})
+	}
+}
+
+func TestSetsAgreeWithEachOther(t *testing.T) {
+	f := func(ops []int16) bool {
+		sets := make([]Set, 0, 4)
+		for _, mk := range allSets() {
+			sets = append(sets, mk())
+		}
+		for _, raw := range ops {
+			k := int64(raw % 64)
+			op := (int(raw) / 64) % 3
+			var first bool
+			for i, s := range sets {
+				var got bool
+				switch op {
+				case 0:
+					got = s.Insert(k)
+				case 1:
+					got = s.Remove(k)
+				default:
+					got = s.Contains(k)
+				}
+				if i == 0 {
+					first = got
+				} else if got != first {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMapBalance(t *testing.T) {
+	tm := NewTreeMap()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		tm.Insert(int64(rng.Intn(10000)))
+		if i%500 == 0 && !tm.checkRB() {
+			t.Fatalf("red-black invariants violated after %d inserts", i)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		tm.Remove(int64(rng.Intn(10000)))
+		if i%500 == 0 && !tm.checkRB() {
+			t.Fatalf("red-black invariants violated after %d removes", i)
+		}
+	}
+	if !tm.checkRB() {
+		t.Fatal("final red-black invariants violated")
+	}
+}
+
+func TestSkipListHeightShrinks(t *testing.T) {
+	sl := NewSkipList()
+	for k := int64(0); k < 4096; k++ {
+		sl.Insert(k)
+	}
+	grown := sl.height
+	if grown < 2 {
+		t.Fatalf("height %d after 4096 inserts", grown)
+	}
+	for k := int64(0); k < 4096; k++ {
+		sl.Remove(k)
+	}
+	if sl.height != 1 {
+		t.Fatalf("height %d after drain, want 1", sl.height)
+	}
+}
+
+func TestSortedVecStaysSorted(t *testing.T) {
+	sv := NewSortedVec()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		k := int64(rng.Intn(500))
+		if rng.Intn(2) == 0 {
+			sv.Insert(k)
+		} else {
+			sv.Remove(k)
+		}
+		for j := 1; j < len(sv.elems); j++ {
+			if sv.elems[j] <= sv.elems[j-1] {
+				t.Fatalf("unsorted after op %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package seqset
+
+// SkipList is Pugh's classic sequential skip list with p = 1/2 — the
+// Figure 1 baseline with the most pointer chasing per operation.
+type SkipList struct {
+	head   *slNode
+	height int
+	n      int
+	rng    uint64
+}
+
+const slMaxHeight = 32
+
+type slNode struct {
+	key  int64
+	next []*slNode
+}
+
+// NewSkipList returns an empty sequential skip list set.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head:   &slNode{next: make([]*slNode, slMaxHeight)},
+		height: 1,
+		rng:    0x2545f4914f6cdd1d,
+	}
+}
+
+// Name implements Set.
+func (s *SkipList) Name() string { return "skip-list" }
+
+// Len implements Set.
+func (s *SkipList) Len() int { return s.n }
+
+func (s *SkipList) random() uint64 {
+	// xorshift64
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
+}
+
+func (s *SkipList) randomHeight() int {
+	h := 1
+	for h < slMaxHeight && s.random()&1 == 0 {
+		h++
+	}
+	return h
+}
+
+// findPreds fills preds[l] with the rightmost node at level l whose key is
+// < k, and returns the node after preds[0] (the candidate match).
+func (s *SkipList) findPreds(k int64, preds *[slMaxHeight]*slNode) *slNode {
+	x := s.head
+	for l := s.height - 1; l >= 0; l-- {
+		for x.next[l] != nil && x.next[l].key < k {
+			x = x.next[l]
+		}
+		preds[l] = x
+	}
+	return x.next[0]
+}
+
+// Contains implements Set.
+func (s *SkipList) Contains(k int64) bool {
+	x := s.head
+	for l := s.height - 1; l >= 0; l-- {
+		for x.next[l] != nil && x.next[l].key < k {
+			x = x.next[l]
+		}
+	}
+	c := x.next[0]
+	return c != nil && c.key == k
+}
+
+// Insert implements Set.
+func (s *SkipList) Insert(k int64) bool {
+	var preds [slMaxHeight]*slNode
+	if c := s.findPreds(k, &preds); c != nil && c.key == k {
+		return false
+	}
+	h := s.randomHeight()
+	for s.height < h {
+		preds[s.height] = s.head
+		s.height++
+	}
+	n := &slNode{key: k, next: make([]*slNode, h)}
+	for l := 0; l < h; l++ {
+		n.next[l] = preds[l].next[l]
+		preds[l].next[l] = n
+	}
+	s.n++
+	return true
+}
+
+// Remove implements Set.
+func (s *SkipList) Remove(k int64) bool {
+	var preds [slMaxHeight]*slNode
+	c := s.findPreds(k, &preds)
+	if c == nil || c.key != k {
+		return false
+	}
+	for l := 0; l < len(c.next); l++ {
+		if preds[l].next[l] == c {
+			preds[l].next[l] = c.next[l]
+		}
+	}
+	for s.height > 1 && s.head.next[s.height-1] == nil {
+		s.height--
+	}
+	s.n--
+	return true
+}

@@ -1,0 +1,213 @@
+package seqset
+
+// TreeMap is a left-leaning red-black BST (Sedgewick's LLRB), the stand-in
+// for C++ std::map in Figure 1: a balanced binary tree with O(log n)
+// operations and one pointer dereference per comparison.
+type TreeMap struct {
+	root *rbNode
+	n    int
+}
+
+type rbNode struct {
+	key         int64
+	left, right *rbNode
+	red         bool
+}
+
+// NewTreeMap returns an empty tree set.
+func NewTreeMap() *TreeMap { return &TreeMap{} }
+
+// Name implements Set.
+func (t *TreeMap) Name() string { return "tree-map" }
+
+// Len implements Set.
+func (t *TreeMap) Len() int { return t.n }
+
+// Contains implements Set.
+func (t *TreeMap) Contains(k int64) bool {
+	x := t.root
+	for x != nil {
+		switch {
+		case k < x.key:
+			x = x.left
+		case k > x.key:
+			x = x.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func isRed(x *rbNode) bool { return x != nil && x.red }
+
+func rotateLeft(h *rbNode) *rbNode {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight(h *rbNode) *rbNode {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors(h *rbNode) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp(h *rbNode) *rbNode {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Insert implements Set.
+func (t *TreeMap) Insert(k int64) bool {
+	var inserted bool
+	t.root, inserted = t.insert(t.root, k)
+	t.root.red = false
+	if inserted {
+		t.n++
+	}
+	return inserted
+}
+
+func (t *TreeMap) insert(h *rbNode, k int64) (*rbNode, bool) {
+	if h == nil {
+		return &rbNode{key: k, red: true}, true
+	}
+	var inserted bool
+	switch {
+	case k < h.key:
+		h.left, inserted = t.insert(h.left, k)
+	case k > h.key:
+		h.right, inserted = t.insert(h.right, k)
+	default:
+		return h, false
+	}
+	return fixUp(h), inserted
+}
+
+func moveRedLeft(h *rbNode) *rbNode {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *rbNode) *rbNode {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode(h *rbNode) *rbNode {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin(h *rbNode) *rbNode {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Remove implements Set.
+func (t *TreeMap) Remove(k int64) bool {
+	if !t.Contains(k) {
+		return false
+	}
+	t.root = t.delete(t.root, k)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.n--
+	return true
+}
+
+func (t *TreeMap) delete(h *rbNode, k int64) *rbNode {
+	if k < h.key {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, k)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if k == h.key && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if k == h.key {
+			h.key = minNode(h.right).key
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, k)
+		}
+	}
+	return fixUp(h)
+}
+
+// checkRB validates red-black invariants (tests only): no red right links,
+// no two consecutive red left links, uniform black height.
+func (t *TreeMap) checkRB() bool {
+	if isRed(t.root) {
+		return false
+	}
+	_, ok := checkRBNode(t.root)
+	return ok
+}
+
+func checkRBNode(h *rbNode) (blackHeight int, ok bool) {
+	if h == nil {
+		return 1, true
+	}
+	if isRed(h.right) {
+		return 0, false
+	}
+	if isRed(h) && isRed(h.left) {
+		return 0, false
+	}
+	lh, lok := checkRBNode(h.left)
+	rh, rok := checkRBNode(h.right)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if !isRed(h) {
+		lh++
+	}
+	return lh, true
+}

@@ -1,0 +1,293 @@
+// Package skiplist implements a lock-free concurrent skip list in the style
+// of Fraser's practical lock-free skip lists [Fraser 2003], as popularized
+// by Herlihy & Shavit. It is the "FSL" baseline of the paper's evaluation
+// (Section V-A): one element per node, per-level linked lists, CAS-based
+// insertion and logical deletion with helping.
+//
+// Go pointers cannot carry mark bits, so the (successor, marked) pair that
+// Fraser's algorithm updates atomically is represented by an immutable link
+// record behind an atomic pointer: marking a level allocates a new link with
+// the same successor and marked=true. This adds one indirection per next
+// read and an allocation per link swing — overhead the skip vector avoids by
+// construction, and of the same flavour as the reference-counting/epoch
+// machinery C++ nonblocking lists need. Like the paper's FSL, the structure
+// does not reclaim memory precisely: unlinked nodes are left to the garbage
+// collector.
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// MaxHeight is the tallest tower the list builds. 2^32 expected elements
+// need 32 levels at p = 1/2.
+const MaxHeight = 32
+
+// link is an immutable (successor, marked) pair. The marked flag logically
+// deletes the *owning* node at that level (Harris-style: the mark lives in
+// the predecessor-to-successor edge of the deleted node).
+type link[V any] struct {
+	next   *node[V]
+	marked bool
+}
+
+type node[V any] struct {
+	key    int64
+	val    atomic.Pointer[V]
+	next   []atomic.Pointer[link[V]]
+	height int
+}
+
+func newNode[V any](key int64, v *V, height int) *node[V] {
+	n := &node[V]{
+		key:    key,
+		next:   make([]atomic.Pointer[link[V]], height),
+		height: height,
+	}
+	n.val.Store(v)
+	return n
+}
+
+// loadLink reads the (successor, marked) pair at level l.
+func (n *node[V]) loadLink(l int) (*node[V], bool) {
+	lk := n.next[l].Load()
+	if lk == nil {
+		return nil, false
+	}
+	return lk.next, lk.marked
+}
+
+// casLink swings level l from (oldNext,oldMarked) to (newNext,newMarked).
+func (n *node[V]) casLink(l int, oldNext *node[V], oldMarked bool, newNext *node[V], newMarked bool) bool {
+	old := n.next[l].Load()
+	if old == nil || old.next != oldNext || old.marked != oldMarked {
+		return false
+	}
+	return n.next[l].CompareAndSwap(old, &link[V]{next: newNext, marked: newMarked})
+}
+
+// List is a lock-free concurrent ordered map from int64 keys to *V values.
+type List[V any] struct {
+	head   *node[V]
+	tail   *node[V]
+	length atomic.Int64
+	seed   atomic.Uint64
+}
+
+// New builds an empty list. Head and tail sentinels use the extreme int64
+// values; user keys must lie strictly between them.
+func New[V any]() *List[V] {
+	l := &List[V]{}
+	l.head = newNode[V](-1<<63, nil, MaxHeight)
+	l.tail = newNode[V](1<<63-1, nil, MaxHeight)
+	for i := 0; i < MaxHeight; i++ {
+		l.head.next[i].Store(&link[V]{next: l.tail})
+	}
+	l.seed.Store(0x9e3779b97f4a7c15)
+	return l
+}
+
+// randomHeight draws a tower height from the geometric distribution with
+// p = 1/2, the classic skip list parameter.
+func (l *List[V]) randomHeight() int {
+	h := 1
+	for h < MaxHeight && rand.Uint64()&1 == 0 {
+		h++
+	}
+	return h
+}
+
+// find locates the insertion window for key at every level: preds[l] is the
+// rightmost unmarked node with key < target, succs[l] its successor. Marked
+// nodes encountered on the way are physically unlinked (helping). Returns
+// whether an unmarked node with the exact key was found at the bottom level.
+func (l *List[V]) find(key int64, preds, succs *[MaxHeight]*node[V]) (*node[V], bool) {
+retry:
+	for {
+		pred := l.head
+		for level := MaxHeight - 1; level >= 0; level-- {
+			curr, _ := pred.loadLink(level)
+			for {
+				if curr == nil {
+					continue retry
+				}
+				succ, marked := curr.loadLink(level)
+				// Help unlink marked nodes.
+				for marked {
+					if !pred.casLink(level, curr, false, succ, false) {
+						continue retry
+					}
+					curr = succ
+					if curr == nil {
+						continue retry
+					}
+					succ, marked = curr.loadLink(level)
+				}
+				if curr.key < key {
+					pred = curr
+					curr = succ
+					continue
+				}
+				break
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		if succs[0] != nil && succs[0].key == key {
+			return succs[0], true
+		}
+		return nil, false
+	}
+}
+
+// Insert adds key→v, returning false if the key is already present.
+func (l *List[V]) Insert(key int64, v *V) bool {
+	var preds, succs [MaxHeight]*node[V]
+	height := l.randomHeight()
+	for {
+		if _, found := l.find(key, &preds, &succs); found {
+			return false
+		}
+		n := newNode(key, v, height)
+		for level := 0; level < height; level++ {
+			n.next[level].Store(&link[V]{next: succs[level]})
+		}
+		// Linearization: splice at the bottom level.
+		if !preds[0].casLink(0, succs[0], false, n, false) {
+			continue // window changed; recompute
+		}
+		l.length.Add(1)
+		// Build the tower above; helping may have changed the windows. The
+		// node's own links are only ever CAS'd so a concurrent remover's
+		// mark is never overwritten (which would resurrect the node).
+		for level := 1; level < height; level++ {
+			for {
+				succ, marked := n.loadLink(level)
+				if marked {
+					return true // being removed; abandon the tower
+				}
+				if succ != succs[level] &&
+					!n.casLink(level, succ, false, succs[level], false) {
+					continue
+				}
+				if preds[level].casLink(level, succs[level], false, n, false) {
+					break
+				}
+				// Window changed: re-find to refresh preds/succs. If our
+				// node is gone from the bottom level, stop building.
+				if _, found := l.find(key, &preds, &succs); !found || succs[0] != n {
+					return true
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Lookup returns the value for key. It is wait-free apart from the
+// traversal itself and never helps or modifies the structure.
+func (l *List[V]) Lookup(key int64) (*V, bool) {
+	pred := l.head
+	for level := MaxHeight - 1; level >= 0; level-- {
+		curr, _ := pred.loadLink(level)
+		for curr != nil {
+			succ, marked := curr.loadLink(level)
+			if curr.key < key {
+				pred = curr
+				curr = succ
+				continue
+			}
+			if curr.key == key && !marked && level == 0 {
+				return curr.val.Load(), true
+			}
+			if curr.key == key && marked {
+				// Logically deleted; skip past at this level.
+				curr = succ
+				continue
+			}
+			break
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether key is present.
+func (l *List[V]) Contains(key int64) bool {
+	_, ok := l.Lookup(key)
+	return ok
+}
+
+// Remove deletes key, returning false if absent. Deletion marks the victim
+// top-down and then physically unlinks it via a helping find.
+func (l *List[V]) Remove(key int64) bool {
+	var preds, succs [MaxHeight]*node[V]
+	victim, found := l.find(key, &preds, &succs)
+	if !found {
+		return false
+	}
+	// Mark from the top level down to 1 (idempotent; concurrent removers
+	// may race on these levels).
+	for level := victim.height - 1; level >= 1; level-- {
+		succ, marked := victim.loadLink(level)
+		for !marked {
+			victim.casLink(level, succ, false, succ, true)
+			succ, marked = victim.loadLink(level)
+		}
+	}
+	// Level 0 is the linearization point: exactly one remover wins.
+	for {
+		succ, marked := victim.loadLink(0)
+		if marked {
+			return false // another remover linearized first
+		}
+		if victim.casLink(0, succ, false, succ, true) {
+			l.length.Add(-1)
+			// Physically unlink via a helping traversal.
+			l.find(key, &preds, &succs)
+			return true
+		}
+	}
+}
+
+// Len returns the number of keys present.
+func (l *List[V]) Len() int { return int(l.length.Load()) }
+
+// Keys returns all keys in ascending order (quiescent use).
+func (l *List[V]) Keys() []int64 {
+	var out []int64
+	curr, _ := l.head.loadLink(0)
+	for curr != nil && curr != l.tail {
+		succ, marked := curr.loadLink(0)
+		if !marked {
+			out = append(out, curr.key)
+		}
+		curr = succ
+	}
+	return out
+}
+
+// RangeQuery calls fn for each unmarked key in [lo,hi] in ascending order.
+// Unlike the skip vector's, this range query is NOT linearizable — it is
+// the non-linearizable baseline behaviour the paper contrasts against
+// (Section V-B).
+func (l *List[V]) RangeQuery(lo, hi int64, fn func(k int64, v *V) bool) {
+	pred := l.head
+	for level := MaxHeight - 1; level >= 0; level-- {
+		curr, _ := pred.loadLink(level)
+		for curr != nil && curr.key < lo {
+			pred = curr
+			curr, _ = curr.loadLink(level)
+		}
+	}
+	curr, _ := pred.loadLink(0)
+	for curr != nil && curr != l.tail && curr.key <= hi {
+		succ, marked := curr.loadLink(0)
+		if !marked && curr.key >= lo {
+			if !fn(curr.key, curr.val.Load()) {
+				return
+			}
+		}
+		curr = succ
+	}
+}

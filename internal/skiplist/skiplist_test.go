@@ -1,0 +1,285 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func vp(x int64) *int64 { return &x }
+
+func TestBasicOps(t *testing.T) {
+	l := New[int64]()
+	if l.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !l.Insert(5, vp(50)) {
+		t.Fatal("Insert failed")
+	}
+	if l.Insert(5, vp(51)) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if v, ok := l.Lookup(5); !ok || *v != 50 {
+		t.Fatalf("Lookup = %v,%t", v, ok)
+	}
+	if !l.Remove(5) || l.Remove(5) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestOrderedKeys(t *testing.T) {
+	l := New[int64]()
+	rng := rand.New(rand.NewSource(1))
+	want := rng.Perm(500)
+	for _, k := range want {
+		l.Insert(int64(k), vp(int64(k)))
+	}
+	keys := l.Keys()
+	if len(keys) != 500 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := range keys {
+		if keys[i] != int64(i) {
+			t.Fatalf("keys[%d] = %d", i, keys[i])
+		}
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	l := New[int64]()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(150))
+		switch rng.Intn(3) {
+		case 0:
+			_, had := model[k]
+			if l.Insert(k, vp(k)) == had {
+				t.Fatalf("op %d: Insert(%d) mismatch", i, k)
+			}
+			if !had {
+				model[k] = k
+			}
+		case 1:
+			_, had := model[k]
+			if l.Remove(k) != had {
+				t.Fatalf("op %d: Remove(%d) mismatch", i, k)
+			}
+			delete(model, k)
+		case 2:
+			_, had := model[k]
+			if l.Contains(k) != had {
+				t.Fatalf("op %d: Contains(%d) mismatch", i, k)
+			}
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", i, l.Len(), len(model))
+		}
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	l := New[int64]()
+	for k := int64(0); k < 100; k += 2 {
+		l.Insert(k, vp(k))
+	}
+	var got []int64
+	l.RangeQuery(10, 30, func(k int64, v *int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	l := New[int64]()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 400
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				if !l.Insert(base+i, vp(base+i)) {
+					t.Errorf("Insert(%d) failed", base+i)
+					return
+				}
+			}
+			for i := int64(0); i < perG; i += 2 {
+				if !l.Remove(base + i) {
+					t.Errorf("Remove(%d) failed", base+i)
+					return
+				}
+			}
+		}(int64(g) * 100_000)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if want := goroutines * perG / 2; l.Len() != want {
+		t.Fatalf("Len = %d want %d", l.Len(), want)
+	}
+	keys := l.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("keys out of order")
+		}
+	}
+}
+
+func TestConcurrentSharedAccounting(t *testing.T) {
+	l := New[int64]()
+	const keySpace = 64
+	var inserts, removes [keySpace]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1500; i++ {
+				k := int64(rng.Intn(keySpace))
+				switch rng.Intn(3) {
+				case 0:
+					if l.Insert(k, vp(k)) {
+						inserts[k].Add(1)
+					}
+				case 1:
+					if l.Remove(k) {
+						removes[k].Add(1)
+					}
+				default:
+					if v, ok := l.Lookup(k); ok && *v != k {
+						t.Errorf("corrupt value for %d", k)
+						return
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	total := 0
+	for k := 0; k < keySpace; k++ {
+		diff := inserts[k].Load() - removes[k].Load()
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d diff %d", k, diff)
+		}
+		if present := l.Contains(int64(k)); present != (diff == 1) {
+			t.Fatalf("key %d present=%t diff=%d", k, present, diff)
+		}
+		if diff == 1 {
+			total++
+		}
+	}
+	if l.Len() != total {
+		t.Fatalf("Len=%d want %d", l.Len(), total)
+	}
+}
+
+func TestConcurrentInsertRace(t *testing.T) {
+	l := New[int64]()
+	const keys = 300
+	var wins [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				if l.Insert(k, vp(k)) {
+					wins[k].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if wins[k].Load() != 1 {
+			t.Fatalf("key %d won %d times", k, wins[k].Load())
+		}
+	}
+}
+
+func TestConcurrentRemoveRace(t *testing.T) {
+	l := New[int64]()
+	const keys = 300
+	for k := int64(0); k < keys; k++ {
+		l.Insert(k, vp(k))
+	}
+	var wins [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				if l.Remove(k) {
+					wins[k].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if wins[k].Load() != 1 {
+			t.Fatalf("key %d removed %d times", k, wins[k].Load())
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New[int64]()
+		model := map[int64]bool{}
+		for i := 0; i < 400; i++ {
+			k := int64(rng.Intn(60))
+			switch rng.Intn(3) {
+			case 0:
+				if l.Insert(k, vp(k)) == model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if l.Remove(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if l.Contains(k) != model[k] {
+					return false
+				}
+			}
+		}
+		keys := l.Keys()
+		if len(keys) != len(model) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package vectormap
+
+import (
+	"testing"
+)
+
+// FuzzChunkModel drives a chunk with an op byte-stream cross-checked
+// against a map model. Run with `go test -fuzz FuzzChunkModel` for
+// continuous fuzzing; `go test` replays the seed corpus.
+func FuzzChunkModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, true)
+	f.Add([]byte{10, 200, 30, 40, 5, 60, 7, 80}, false)
+	f.Add([]byte{255, 255, 0, 0, 128, 128}, true)
+
+	f.Fuzz(func(t *testing.T, ops []byte, sorted bool) {
+		var c Chunk[int64]
+		c.Init(4, sorted) // capacity 8
+		model := map[int64]int64{}
+		for _, b := range ops {
+			k := int64(b % 16)
+			switch (b >> 4) % 3 {
+			case 0:
+				if len(model) == c.Cap() {
+					continue
+				}
+				_, inModel := model[k]
+				got := c.Insert(k, val(k*7))
+				if got == inModel {
+					t.Fatalf("Insert(%d) = %t, model has=%t", k, got, inModel)
+				}
+				if got {
+					model[k] = k * 7
+				}
+			case 1:
+				_, inModel := model[k]
+				_, got := c.Remove(k)
+				if got != inModel {
+					t.Fatalf("Remove(%d) = %t, model has=%t", k, got, inModel)
+				}
+				delete(model, k)
+			default:
+				v, got := c.Get(k)
+				mv, inModel := model[k]
+				if got != inModel || (got && *v != mv) {
+					t.Fatalf("Get(%d) mismatch", k)
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if c.Size() != len(model) {
+				t.Fatalf("size %d != model %d", c.Size(), len(model))
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package workload
+
+import "fmt"
+
+// Op is a map operation kind drawn from a Mix.
+type Op int
+
+// Operation kinds.
+const (
+	OpLookup Op = iota + 1
+	OpInsert
+	OpRemove
+	OpRange
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpRange:
+		return "range"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Mix is an operation mixture in percent. The paper's microbenchmarks use
+// 80/10/10 (read-heavy) and 0/50/50 (write-only).
+type Mix struct {
+	LookupPct int
+	InsertPct int
+	RemovePct int
+	RangePct  int
+}
+
+// Standard mixes from the paper's evaluation.
+var (
+	// MixReadHeavy is the 80% lookup / 10% insert / 10% remove mix of
+	// Figures 1 and 4.
+	MixReadHeavy = Mix{LookupPct: 80, InsertPct: 10, RemovePct: 10}
+	// MixWriteOnly is the 0/50/50 mix of Figure 5.
+	MixWriteOnly = Mix{InsertPct: 50, RemovePct: 50}
+	// MixRangeHeavy approximates Figure 8's all-range workload.
+	MixRangeHeavy = Mix{RangePct: 100}
+)
+
+// Validate checks that the percentages sum to 100.
+func (m Mix) Validate() error {
+	if s := m.LookupPct + m.InsertPct + m.RemovePct + m.RangePct; s != 100 {
+		return fmt.Errorf("workload: mix sums to %d%%, want 100%%", s)
+	}
+	if m.LookupPct < 0 || m.InsertPct < 0 || m.RemovePct < 0 || m.RangePct < 0 {
+		return fmt.Errorf("workload: negative percentage in mix %+v", m)
+	}
+	return nil
+}
+
+// String renders the mix the way the paper labels workloads, e.g. "80/10/10".
+func (m Mix) String() string {
+	if m.RangePct == 0 {
+		return fmt.Sprintf("%d/%d/%d", m.LookupPct, m.InsertPct, m.RemovePct)
+	}
+	return fmt.Sprintf("%d/%d/%d/%dr", m.LookupPct, m.InsertPct, m.RemovePct, m.RangePct)
+}
+
+// Next draws an operation kind.
+func (m Mix) Next(rng *RNG) Op {
+	r := int(rng.Intn(100))
+	switch {
+	case r < m.LookupPct:
+		return OpLookup
+	case r < m.LookupPct+m.InsertPct:
+		return OpInsert
+	case r < m.LookupPct+m.InsertPct+m.RemovePct:
+		return OpRemove
+	default:
+		return OpRange
+	}
+}
+
+// KeyGen produces benchmark keys. Implementations must be cheap and
+// deterministic per stream.
+type KeyGen interface {
+	// Next returns a key in [0, Range()).
+	Next() int64
+	// Range returns the key-space size.
+	Range() int64
+}
+
+// Uniform draws keys uniformly from [0,n), matching the paper's
+// microbenchmarks ("keys are drawn from a uniform distribution").
+type Uniform struct {
+	rng *RNG
+	n   int64
+}
+
+// NewUniform builds a uniform key generator over [0,n).
+func NewUniform(rng *RNG, n int64) *Uniform {
+	if n <= 0 {
+		panic("workload: Uniform with non-positive range")
+	}
+	return &Uniform{rng: rng, n: n}
+}
+
+// Next implements KeyGen.
+func (u *Uniform) Next() int64 { return u.rng.Intn(u.n) }
+
+// Range implements KeyGen.
+func (u *Uniform) Range() int64 { return u.n }
+
+// ZipfKeys adapts Zipf to KeyGen, scattering ranks over the key space with a
+// Feistel permutation so the hot keys are not physically adjacent (as YCSB's
+// scrambled Zipfian does).
+type ZipfKeys struct {
+	z *Zipf
+	p *Permute
+}
+
+// NewZipfKeys builds a scrambled-Zipfian generator over [0,n).
+func NewZipfKeys(rng *RNG, n int64, theta float64, seed uint64) *ZipfKeys {
+	return &ZipfKeys{z: NewZipf(rng, n, theta), p: NewPermute(n, seed)}
+}
+
+// WithRNG derives a per-goroutine stream reusing the zeta precomputation.
+func (g *ZipfKeys) WithRNG(rng *RNG) *ZipfKeys {
+	return &ZipfKeys{z: g.z.WithRNG(rng), p: g.p}
+}
+
+// Next implements KeyGen.
+func (g *ZipfKeys) Next() int64 { return g.p.Apply(g.z.Next()) }
+
+// Range implements KeyGen.
+func (g *ZipfKeys) Range() int64 { return g.z.N() }
+
+// Prefiller inserts half of the keys in [0,n) in pseudo-random order, which
+// is the paper's pre-fill protocol ("pre-filled each data structure with
+// half of the keys in the range") — the set size then stays stable under
+// balanced insert/remove mixes. The chosen keys are the even positions of a
+// keyed permutation, so which keys are present is uniform but deterministic.
+type Prefiller struct {
+	perm *Permute
+	n    int64
+}
+
+// NewPrefiller builds a prefiller for key range [0,n).
+func NewPrefiller(n int64, seed uint64) *Prefiller {
+	return &Prefiller{perm: NewPermute(n, seed), n: n}
+}
+
+// Count returns the number of keys Prefill will insert.
+func (p *Prefiller) Count() int64 { return p.n / 2 }
+
+// Keys calls insert for each chosen key, in pseudo-random order. Callers
+// running multiple goroutines can shard [0,Count()) among themselves.
+func (p *Prefiller) Keys(from, to int64, insert func(k int64)) {
+	for i := from; i < to; i++ {
+		insert(p.perm.Apply(2 * i % p.n))
+	}
+}

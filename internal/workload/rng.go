@@ -1,0 +1,103 @@
+// Package workload generates the paper's benchmark workloads (Section V):
+// deterministic per-thread random streams, uniform and Zipfian key
+// distributions, lookup/insert/remove operation mixes, and the half-full
+// prefill used before every trial.
+package workload
+
+// RNG is a SplitMix64 pseudo-random generator: one 64-bit word of state,
+// high quality, trivially splittable into independent per-goroutine streams.
+// The zero value is a valid generator (seed 0).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent stream (for per-goroutine RNGs).
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64()} }
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniformly distributed in [0,n). n must be positive.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	// Lemire's multiply-shift rejection-free-ish reduction is overkill for
+	// benchmarking; modulo bias is negligible for n ≪ 2^64.
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniformly distributed in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Permute maps index i ∈ [0,n) to a pseudo-random position in [0,n) such
+// that the mapping is a bijection on [0,n). It is a 4-round Feistel network
+// over the index bits with cycle-walking, which lets prefill loops insert a
+// random permutation of a huge key range without materializing it.
+type Permute struct {
+	n      uint64
+	mask   uint64
+	half   uint
+	rounds [4]uint64
+}
+
+// NewPermute builds a bijection on [0,n) keyed by seed.
+func NewPermute(n int64, seed uint64) *Permute {
+	if n <= 0 {
+		panic("workload: NewPermute with non-positive n")
+	}
+	bits := uint(1)
+	for int64(1)<<bits < n {
+		bits++
+	}
+	if bits%2 == 1 {
+		bits++
+	}
+	p := &Permute{
+		n:    uint64(n),
+		mask: (uint64(1) << (bits / 2)) - 1,
+		half: bits / 2,
+	}
+	r := NewRNG(seed)
+	for i := range p.rounds {
+		p.rounds[i] = r.Uint64()
+	}
+	return p
+}
+
+func (p *Permute) feistel(x uint64) uint64 {
+	l := x >> p.half
+	rt := x & p.mask
+	for _, k := range p.rounds {
+		f := (rt*0x9e3779b97f4a7c15 + k)
+		f = (f ^ (f >> 29)) * 0xbf58476d1ce4e5b9
+		l, rt = rt, (l^f)&p.mask
+	}
+	return (l << p.half) | rt
+}
+
+// Apply returns the permuted position of i.
+func (p *Permute) Apply(i int64) int64 {
+	x := uint64(i)
+	if x >= p.n {
+		panic("workload: Permute index out of range")
+	}
+	// Cycle-walk until the value lands inside [0,n).
+	for {
+		x = p.feistel(x)
+		if x < p.n {
+			return int64(x)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "math"
+
+// Zipf generates keys in [0,n) following a Zipfian distribution with
+// exponent theta, using the Gray et al. "quickly generating billion-record
+// synthetic databases" algorithm that YCSB (and hence DBx1000) uses. Rank 0
+// is the hottest key; theta→0 approaches uniform, theta→1 is heavily
+// skewed. The paper's Figure 6 uses theta ∈ {0.1, 0.6, 0.9}.
+//
+// A Zipf generator is not safe for concurrent use; derive one per goroutine
+// with the same parameters (they share the precomputed constants via copy).
+type Zipf struct {
+	rng   *RNG
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf precomputes the distribution constants. The zeta(n) computation is
+// O(n) once; reuse via WithRNG for additional streams.
+func NewZipf(rng *RNG, n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf with non-positive n")
+	}
+	if theta < 0 || theta >= 1 {
+		panic("workload: Zipf theta must be in [0,1)")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// WithRNG returns a copy of z driven by a different random stream, reusing
+// the precomputed constants.
+func (z *Zipf) WithRNG(rng *RNG) *Zipf {
+	cp := *z
+	cp.rng = rng
+	return &cp
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank in [0,n), rank 0 hottest.
+func (z *Zipf) Next() int64 {
+	if z.theta == 0 {
+		return z.rng.Intn(z.n)
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N returns the key-space size.
+func (z *Zipf) N() int64 { return z.n }
+
+// Theta returns the skew exponent.
+func (z *Zipf) Theta() float64 { return z.theta }

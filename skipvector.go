@@ -1,0 +1,300 @@
+// Package skipvector provides a scalable concurrent ordered map — the skip
+// vector of Rodriguez, Hassan and Spear, "Exploiting Locality in Scalable
+// Ordered Maps" (ICDCS 2021).
+//
+// A skip vector is a skip list whose index and data layers are flattened
+// into fixed-capacity vectors ("chunks"). Chunking at every layer gives the
+// structure far better spatial locality than a skip list — each layer is
+// traversed with a handful of cache-line fetches instead of per-element
+// pointer chasing — while keeping the skip list's O(log n) expected cost,
+// its freedom from rebalancing, and its scalability under concurrent
+// access. Nodes are synchronized with sequence locks (readers are
+// speculative and never block writers), and memory is reclaimed precisely
+// with hazard pointers.
+//
+// Keys are int64 (excluding math.MinInt64 and math.MaxInt64, which are the
+// internal sentinels); values are any Go type. All methods are safe for
+// concurrent use:
+//
+//	m := skipvector.New[string]()
+//	m.Insert(42, "answer")
+//	v, ok := m.Lookup(42)         // "answer", true
+//	m.RangeQuery(0, 100, func(k int64, v string) bool { ... })
+//	m.Remove(42)
+//
+// The map follows the paper's set-style semantics: Insert fails (returns
+// false) when the key is already present; use Upsert for overwrite
+// semantics. Range operations are linearizable (serializable two-phase
+// locking over the affected chunks), including the mutating RangeUpdate.
+package skipvector
+
+import (
+	"fmt"
+
+	"skipvector/internal/core"
+)
+
+// Key range limits: user keys must satisfy MinKey < k < MaxKey.
+const (
+	MinKey = core.MinKey
+	MaxKey = core.MaxKey
+)
+
+// Option configures a Map at construction time.
+type Option func(*core.Config)
+
+// WithLayerCount sets the total layer count including the data layer
+// (default 6). With the default chunk sizes, 6 layers cover ~32^5 ≈ 3.3·10^7
+// expected elements; oversizing costs almost nothing because extra layers
+// stay near-empty (Section V-B).
+func WithLayerCount(n int) Option {
+	return func(c *core.Config) { c.LayerCount = n }
+}
+
+// WithTargetDataVectorSize sets the expected data-chunk occupancy T_D
+// (default 32; chunk capacity is 2×T_D).
+func WithTargetDataVectorSize(n int) Option {
+	return func(c *core.Config) { c.TargetDataVectorSize = n }
+}
+
+// WithTargetIndexVectorSize sets the expected index-chunk occupancy T_I
+// (default 32).
+func WithTargetIndexVectorSize(n int) Option {
+	return func(c *core.Config) { c.TargetIndexVectorSize = n }
+}
+
+// WithMergeFactor sets the orphan-merge threshold as a multiple of the
+// target chunk size (default 1.67, the paper's recommendation).
+func WithMergeFactor(f float64) Option {
+	return func(c *core.Config) { c.MergeFactor = f }
+}
+
+// WithSortedIndex selects sorted (true, default) or unsorted index chunks.
+func WithSortedIndex(sorted bool) Option {
+	return func(c *core.Config) { c.SortedIndex = sorted }
+}
+
+// WithSortedData selects sorted or unsorted (false, default) data chunks.
+func WithSortedData(sorted bool) Option {
+	return func(c *core.Config) { c.SortedData = sorted }
+}
+
+// WithHazardPointers enables (true, default) or disables precise memory
+// reclamation. When disabled, unlinked nodes are left to the garbage
+// collector ("Leak" configuration in the paper's evaluation).
+func WithHazardPointers(enabled bool) Option {
+	return func(c *core.Config) {
+		if enabled {
+			c.Reclaim = core.ReclaimHazard
+		} else {
+			c.Reclaim = core.ReclaimLeak
+		}
+	}
+}
+
+// WithSeed seeds the height-generation RNG streams (default is a fixed
+// constant, so structures are reproducible).
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// Map is a concurrent ordered map from int64 keys to values of type V.
+// The zero value is not usable; construct with New.
+type Map[V any] struct {
+	m *core.Map[V]
+}
+
+// NewFromSorted bulk-loads a map from strictly ascending keys in O(n) with
+// perfectly packed chunks — the fast path for building large indexes from
+// pre-sorted data. vals must be the same length as keys.
+func NewFromSorted[V any](keys []int64, vals []V, opts ...Option) (*Map[V], error) {
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("skipvector: %d keys but %d values", len(keys), len(vals))
+	}
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ptrs := make([]*V, len(vals))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	m, err := core.BulkLoad(cfg, keys, ptrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Map[V]{m: m}, nil
+}
+
+// New builds an empty map with the paper's default configuration, modified
+// by the given options. It panics on an invalid configuration (configuration
+// is programmer-controlled; there is no runtime error path).
+func New[V any](opts ...Option) *Map[V] {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	m, err := core.NewMap[V](cfg)
+	if err != nil {
+		panic(fmt.Sprintf("skipvector: %v", err))
+	}
+	return &Map[V]{m: m}
+}
+
+// Insert adds the mapping k→v. It returns false (leaving the map unchanged)
+// when k is already present.
+func (m *Map[V]) Insert(k int64, v V) bool {
+	return m.m.Insert(k, &v)
+}
+
+// Upsert adds or replaces the mapping k→v, returning true when the key was
+// newly inserted and false when an existing mapping was replaced.
+func (m *Map[V]) Upsert(k int64, v V) bool {
+	for {
+		if m.m.Insert(k, &v) {
+			return true
+		}
+		// Key present: overwrite in place via a single-key range update.
+		replaced := false
+		m.m.RangeUpdate(k, k, func(_ int64, _ *V) *V {
+			replaced = true
+			return &v
+		})
+		if replaced {
+			return false
+		}
+		// The key was removed between the failed insert and the update;
+		// retry the insert.
+	}
+}
+
+// Lookup returns the value mapped to k.
+func (m *Map[V]) Lookup(k int64) (V, bool) {
+	if p, ok := m.m.Lookup(k); ok {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is in the map.
+func (m *Map[V]) Contains(k int64) bool {
+	return m.m.Contains(k)
+}
+
+// Remove deletes the mapping for k, returning whether it was present.
+func (m *Map[V]) Remove(k int64) bool {
+	return m.m.Remove(k)
+}
+
+// Len returns the number of mappings.
+func (m *Map[V]) Len() int { return m.m.Len() }
+
+// RangeQuery calls fn for every mapping with lo ≤ key ≤ hi in ascending key
+// order, as one linearizable operation. fn returning false stops early.
+// fn must not call back into the map.
+func (m *Map[V]) RangeQuery(lo, hi int64, fn func(k int64, v V) bool) {
+	m.m.RangeQuery(lo, hi, func(k int64, v *V) bool {
+		return fn(k, *v)
+	})
+}
+
+// RangeUpdate replaces the value of every mapping with lo ≤ key ≤ hi by
+// fn's return value, as one serializable operation, and returns the number
+// of mappings updated. fn must not call back into the map.
+func (m *Map[V]) RangeUpdate(lo, hi int64, fn func(k int64, v V) V) int {
+	return m.m.RangeUpdate(lo, hi, func(k int64, v *V) *V {
+		nv := fn(k, *v)
+		return &nv
+	})
+}
+
+// Ascend iterates all mappings in ascending key order as one linearizable
+// snapshot-like pass. fn returning false stops early.
+func (m *Map[V]) Ascend(fn func(k int64, v V) bool) {
+	m.m.Ascend(func(k int64, v *V) bool { return fn(k, *v) })
+}
+
+// Floor returns the largest key ≤ k and its value (ok=false when none).
+func (m *Map[V]) Floor(k int64) (int64, V, bool) {
+	return unwrap[V](m.m.Floor(k))
+}
+
+// Ceiling returns the smallest key ≥ k and its value (ok=false when none).
+func (m *Map[V]) Ceiling(k int64) (int64, V, bool) {
+	return unwrap[V](m.m.Ceiling(k))
+}
+
+// Min returns the smallest key and its value (ok=false when empty).
+func (m *Map[V]) Min() (int64, V, bool) {
+	return unwrap[V](m.m.First())
+}
+
+// Max returns the largest key and its value (ok=false when empty).
+func (m *Map[V]) Max() (int64, V, bool) {
+	return unwrap[V](m.m.Last())
+}
+
+func unwrap[V any](k int64, p *V, ok bool) (int64, V, bool) {
+	if !ok || p == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return k, *p, true
+}
+
+// Keys returns every key in ascending order. Intended for quiescent use
+// (tests, debugging); concurrent callers should prefer RangeQuery.
+func (m *Map[V]) Keys() []int64 { return m.m.Keys() }
+
+// Cursor returns a stateful forward iterator positioned before the first
+// key ≥ start. Unlike Ascend/RangeQuery — which hold node locks for the
+// duration of the scan — a cursor holds nothing between Next calls: each
+// step is an independent linearizable successor query (Ceiling), so it can
+// be long-lived and interleaved with arbitrary mutations. Keys inserted
+// behind the cursor are not revisited; keys inserted ahead are seen.
+func (m *Map[V]) Cursor(start int64) *Cursor[V] {
+	return &Cursor[V]{m: m, next: start}
+}
+
+// Cursor is a forward iterator over a Map. Not safe for concurrent use by
+// multiple goroutines (the underlying map remains fully concurrent).
+type Cursor[V any] struct {
+	m    *Map[V]
+	next int64
+	done bool
+}
+
+// Next advances to the next key ≥ the cursor position and returns it.
+// ok=false means the scan is exhausted.
+func (c *Cursor[V]) Next() (int64, V, bool) {
+	if c.done {
+		var zero V
+		return 0, zero, false
+	}
+	k, v, ok := c.m.Ceiling(c.next)
+	if !ok {
+		c.done = true
+		var zero V
+		return 0, zero, false
+	}
+	if k == MaxKey-1 {
+		c.done = true // cannot advance past the largest legal key
+	} else {
+		c.next = k + 1
+	}
+	return k, v, true
+}
+
+// SeekTo repositions the cursor before the first key ≥ start.
+func (c *Cursor[V]) SeekTo(start int64) {
+	c.next = start
+	c.done = false
+}
+
+// Stats reports internal event counters (restarts, splits, merges, node
+// allocation and reuse, outstanding retired nodes).
+func (m *Map[V]) Stats() core.StatsSnapshot { return m.m.Stats() }
+
+// CheckInvariants validates the whole structure. Quiescent use only.
+func (m *Map[V]) CheckInvariants() error { return m.m.CheckInvariants() }

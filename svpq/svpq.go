@@ -1,0 +1,109 @@
+// Package svpq builds a concurrent priority queue on top of the skip
+// vector, the application family the paper's introduction points at
+// (skip-list-based priority queues in the style of Lotan/Shavit): PopMin is
+// an ordered-map First+Remove, so all of the skip vector's locality and
+// scalability carries over.
+//
+// Priorities are int64 (bounded to ±2^42; see Push). Duplicate priorities
+// are allowed — each entry gets a unique sub-sequence number, and ties pop
+// in FIFO-ish order of arrival.
+package svpq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"skipvector"
+)
+
+// seqBits is the number of low key bits used to disambiguate entries with
+// equal priority.
+const seqBits = 21
+
+// MaxPriority bounds the priorities Push accepts (|p| < 2^42).
+const MaxPriority = int64(1) << 42
+
+// Queue is a concurrent min-priority queue. All methods are safe for
+// concurrent use. The zero value is not usable; construct with New.
+type Queue[V any] struct {
+	m   *skipvector.Map[V]
+	seq atomic.Uint64
+}
+
+// Option re-exports skip vector tuning options for the queue's underlying
+// map.
+type Option = skipvector.Option
+
+// New builds an empty queue. Options tune the underlying skip vector.
+func New[V any](opts ...Option) *Queue[V] {
+	return &Queue[V]{m: skipvector.New[V](opts...)}
+}
+
+// key packs (priority, sequence) into an ordered map key: higher bits order
+// by priority, low bits break ties by arrival.
+func (q *Queue[V]) key(priority int64) int64 {
+	if priority <= -MaxPriority || priority >= MaxPriority {
+		panic(fmt.Sprintf("svpq: priority %d outside ±2^42", priority))
+	}
+	seq := q.seq.Add(1) & (1<<seqBits - 1)
+	return priority<<seqBits | int64(seq)
+}
+
+// unkey recovers the priority from a packed key.
+func unkey(k int64) int64 { return k >> seqBits }
+
+// Push enqueues v with the given priority (smaller pops first).
+func (q *Queue[V]) Push(priority int64, v V) {
+	for {
+		if q.m.Insert(q.key(priority), v) {
+			return
+		}
+		// Sequence collision after 2^21 same-priority pushes wrapped; the
+		// retry draws a fresh sequence number.
+	}
+}
+
+// PopMin dequeues the entry with the smallest priority. ok=false when the
+// queue is empty.
+func (q *Queue[V]) PopMin() (priority int64, v V, ok bool) {
+	for {
+		k, val, found := q.m.Min()
+		if !found {
+			var zero V
+			return 0, zero, false
+		}
+		if q.m.Remove(k) {
+			return unkey(k), val, true
+		}
+		// Another popper won the race for k; retry with the new minimum.
+	}
+}
+
+// PeekMin returns the current minimum without removing it. The answer is a
+// linearizable observation but may be stale by the time the caller acts on
+// it (use PopMin for atomic take).
+func (q *Queue[V]) PeekMin() (priority int64, v V, ok bool) {
+	k, val, found := q.m.Min()
+	if !found {
+		var zero V
+		return 0, zero, false
+	}
+	return unkey(k), val, true
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[V]) Len() int { return q.m.Len() }
+
+// Drain pops everything, calling fn in priority order, and returns the
+// number of entries drained. Concurrent pushes may extend the drain.
+func (q *Queue[V]) Drain(fn func(priority int64, v V)) int {
+	n := 0
+	for {
+		p, v, ok := q.PopMin()
+		if !ok {
+			return n
+		}
+		fn(p, v)
+		n++
+	}
+}

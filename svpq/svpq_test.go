@@ -1,0 +1,213 @@
+package svpq
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New[string]()
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty queue")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty queue")
+	}
+	if q.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int64]()
+	prios := []int64{5, -2, 9, 0, 7, -8, 3}
+	for _, p := range prios {
+		q.Push(p, p*10)
+	}
+	sorted := append([]int64(nil), prios...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, want := range sorted {
+		p, v, ok := q.PopMin()
+		if !ok || p != want || v != want*10 {
+			t.Fatalf("PopMin = %d,%d,%t want %d", p, v, ok, want)
+		}
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestDuplicatePrioritiesFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(5, i)
+	}
+	for want := 0; want < 10; want++ {
+		p, v, ok := q.PopMin()
+		if !ok || p != 5 || v != want {
+			t.Fatalf("PopMin = %d,%d,%t want 5,%d", p, v, ok, want)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New[string]()
+	q.Push(1, "a")
+	if p, v, ok := q.PeekMin(); !ok || p != 1 || v != "a" {
+		t.Fatalf("PeekMin = %d,%q,%t", p, v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek removed the entry")
+	}
+}
+
+func TestNegativeAndZeroPriorities(t *testing.T) {
+	q := New[int]()
+	q.Push(0, 1)
+	q.Push(-100, 2)
+	q.Push(100, 3)
+	if p, v, _ := q.PopMin(); p != -100 || v != 2 {
+		t.Fatalf("first pop = %d,%d", p, v)
+	}
+	if p, v, _ := q.PopMin(); p != 0 || v != 1 {
+		t.Fatalf("second pop = %d,%d", p, v)
+	}
+}
+
+func TestPriorityBoundsPanic(t *testing.T) {
+	q := New[int]()
+	for _, p := range []int64{MaxPriority, -MaxPriority} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("priority %d accepted", p)
+				}
+			}()
+			q.Push(p, 0)
+		}()
+	}
+	// Boundary-adjacent values are fine.
+	q.Push(MaxPriority-1, 0)
+	q.Push(-MaxPriority+1, 0)
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 50; i++ {
+		q.Push(int64(50-i), i)
+	}
+	prev := int64(-1 << 40)
+	n := q.Drain(func(p int64, _ int) {
+		if p < prev {
+			t.Fatalf("drain out of order: %d after %d", p, prev)
+		}
+		prev = p
+	})
+	if n != 50 || q.Len() != 0 {
+		t.Fatalf("drained %d, Len %d", n, q.Len())
+	}
+}
+
+// TestConcurrentPushPop checks every pushed element is popped exactly once.
+func TestConcurrentPushPop(t *testing.T) {
+	q := New[int64]()
+	const (
+		pushers = 4
+		poppers = 4
+		perG    = 2000
+	)
+	total := int64(pushers * perG)
+	var popped atomic.Int64
+	seen := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(base int64, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := int64(0); i < perG; i++ {
+				q.Push(int64(rng.Intn(1000)), base+i)
+			}
+		}(int64(g)*perG, int64(g)+1)
+	}
+	for g := 0; g < poppers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for popped.Load() < total {
+				if _, v, ok := q.PopMin(); ok {
+					seen[v].Add(1)
+					popped.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("element %d popped %d times", i, c)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestConcurrentPopMonotonePerPopper: with pushes finished, each popper's
+// sequence of popped priorities must be non-decreasing up to concurrent
+// interference; globally, the multiset of popped priorities must match the
+// pushed one.
+func TestConcurrentPopMultisetPreserved(t *testing.T) {
+	q := New[int]()
+	pushed := map[int64]int{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		p := int64(rng.Intn(100))
+		pushed[p]++
+		q.Push(p, 0)
+	}
+	var mu sync.Mutex
+	got := map[int64]int{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p, _, ok := q.PopMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got[p]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != len(pushed) {
+		t.Fatalf("popped %d distinct priorities, want %d", len(got), len(pushed))
+	}
+	for p, n := range pushed {
+		if got[p] != n {
+			t.Fatalf("priority %d popped %d times, want %d", p, got[p], n)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(1))
+		for pb.Next() {
+			if rng.Intn(2) == 0 {
+				q.Push(int64(rng.Intn(1_000_000)), 0)
+			} else {
+				q.PopMin()
+			}
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package svset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetSemantics(t *testing.T) {
+	s := New()
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	if !s.Insert(1) || s.Insert(1) {
+		t.Fatal("Insert semantics")
+	}
+	if !s.Contains(1) {
+		t.Fatal("Contains after insert")
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("Remove semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestNavigationAndRange(t *testing.T) {
+	s := New()
+	for _, k := range []int64{30, 10, 50, 20, 40} {
+		s.Insert(k)
+	}
+	if minK, ok := s.Min(); !ok || minK != 10 {
+		t.Fatalf("Min = %d,%t", minK, ok)
+	}
+	if maxK, ok := s.Max(); !ok || maxK != 50 {
+		t.Fatalf("Max = %d,%t", maxK, ok)
+	}
+	if f, ok := s.Floor(35); !ok || f != 30 {
+		t.Fatalf("Floor(35) = %d,%t", f, ok)
+	}
+	if c, ok := s.Ceiling(35); !ok || c != 40 {
+		t.Fatalf("Ceiling(35) = %d,%t", c, ok)
+	}
+	var got []int64
+	s.Range(15, 45, func(k int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	var all []int64
+	s.Ascend(func(k int64) bool {
+		all = append(all, k)
+		return true
+	})
+	if len(all) != 5 {
+		t.Fatalf("Ascend visited %d", len(all))
+	}
+}
+
+func TestElementsSorted(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		s.Insert(int64(rng.Intn(500)))
+	}
+	es := s.Elements()
+	for i := 1; i < len(es); i++ {
+		if es[i] <= es[i-1] {
+			t.Fatal("Elements not strictly ascending")
+		}
+	}
+	if len(es) != s.Len() {
+		t.Fatalf("Elements len %d != Len %d", len(es), s.Len())
+	}
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := New()
+		model := map[int64]bool{}
+		for _, raw := range ops {
+			k := int64(raw % 128)
+			switch (int(raw) / 128) % 3 {
+			case 0:
+				if s.Insert(k) == model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if s.Remove(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if s.Contains(k) != model[k] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMembership(t *testing.T) {
+	s := New(skipvectorOptions()...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				s.Insert(base + i)
+			}
+			for i := int64(0); i < 500; i += 2 {
+				s.Remove(base + i)
+			}
+		}(int64(g) * 1000)
+	}
+	wg.Wait()
+	if s.Len() != 8*250 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func skipvectorOptions() []Option {
+	return []Option{}
+}
