@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// drive hits every site a fixed number of times from one goroutine and
+// returns the forced-failure pattern observed at Fail sites.
+func drive(n int) []bool {
+	var fails []bool
+	for i := 0; i < n; i++ {
+		for s := Site(0); s < NumSites; s++ {
+			if s == SeqlockRead || s == SeqlockValidate || s == SeqlockUpgrade ||
+				s == SeqlockFreeze || s == HazardRetire {
+				fails = append(fails, Fail(s))
+			} else {
+				Step(s)
+			}
+		}
+	}
+	return fails
+}
+
+func TestDisabledHooksAreInert(t *testing.T) {
+	if Enabled() {
+		t.Fatal("chaos enabled at test start")
+	}
+	for _, f := range drive(100) {
+		if f {
+			t.Fatal("Fail returned true while disabled")
+		}
+	}
+}
+
+// TestSeedReproducesSchedule is the core determinism claim: the same seed
+// and tuning replay the identical decision trace for a single-goroutine
+// run, so a failure schedule is reproducible from its seed alone.
+func TestSeedReproducesSchedule(t *testing.T) {
+	cfg := Config{
+		Seed:       0xdeadbeef,
+		FailOneIn:  7,
+		DelayOneIn: 0, // no sleeps: keep the test fast
+		YieldOneIn: 5,
+		Record:     true,
+	}
+	run := func() ([]bool, Report) {
+		Enable(cfg)
+		fails := drive(200)
+		return fails, Disable()
+	}
+	fails1, rep1 := run()
+	fails2, rep2 := run()
+
+	if rep1.Steps != rep2.Steps {
+		t.Fatalf("step counts differ: %d vs %d", rep1.Steps, rep2.Steps)
+	}
+	if len(fails1) != len(fails2) {
+		t.Fatalf("fail sequences differ in length")
+	}
+	for i := range fails1 {
+		if fails1[i] != fails2[i] {
+			t.Fatalf("fail decision %d differs: %t vs %t", i, fails1[i], fails2[i])
+		}
+	}
+	if len(rep1.Trace) == 0 {
+		t.Fatal("no decisions recorded; tuning too weak for the test")
+	}
+	if len(rep1.Trace) != len(rep2.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(rep1.Trace), len(rep2.Trace))
+	}
+	for i := range rep1.Trace {
+		if rep1.Trace[i] != rep2.Trace[i] {
+			t.Fatalf("trace decision %d differs: %+v vs %+v", i, rep1.Trace[i], rep2.Trace[i])
+		}
+	}
+	if rep1.Fails() == 0 {
+		t.Fatal("no forced failures with FailOneIn=7 over 200 rounds")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	trace := func(seed uint64) []Decision {
+		Enable(Config{Seed: seed, FailOneIn: 7, YieldOneIn: 5, Record: true})
+		drive(200)
+		return Disable().Trace
+	}
+	a, b := trace(1), trace(2)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 produced identical traces")
+		}
+	}
+}
+
+func TestSiteMaskRestrictsInjection(t *testing.T) {
+	Enable(Config{
+		Seed:      42,
+		FailOneIn: 1, // fail every masked hit
+		Sites:     MaskOf(SeqlockValidate),
+	})
+	defer Disable()
+	if Fail(SeqlockRead) {
+		t.Fatal("unmasked site injected a failure")
+	}
+	if !Fail(SeqlockValidate) {
+		t.Fatal("masked site with FailOneIn=1 did not fail")
+	}
+	Step(CoreMerge) // must be a no-op, not counted
+	rep := active.Load().report()
+	if rep.Sites[SeqlockRead].Calls != 0 || rep.Sites[CoreMerge].Calls != 0 {
+		t.Fatalf("masked-out sites recorded calls: %v", rep)
+	}
+	if rep.Sites[SeqlockValidate].Fails != 1 {
+		t.Fatalf("want 1 forced failure at validate, got %v", rep)
+	}
+}
+
+func TestStepNeverFails(t *testing.T) {
+	Enable(Config{Seed: 9, FailOneIn: 1})
+	defer Disable()
+	// Step sites draw with allowFail=false, so even FailOneIn=1 cannot
+	// force a failure — only Fail() callers take the failure path.
+	for i := 0; i < 50; i++ {
+		Step(CoreSplit)
+	}
+	rep := active.Load().report()
+	if rep.Sites[CoreSplit].Fails != 0 {
+		t.Fatalf("Step recorded forced failures: %v", rep)
+	}
+	if rep.Sites[CoreSplit].Calls != 50 {
+		t.Fatalf("Step calls = %d, want 50", rep.Sites[CoreSplit].Calls)
+	}
+}
+
+func TestEnableTwicePanics(t *testing.T) {
+	Enable(Config{})
+	defer Disable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Enable did not panic")
+		}
+	}()
+	Enable(Config{})
+}
+
+func TestDisableWithoutEnablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Disable without Enable did not panic")
+		}
+	}()
+	Disable()
+}
+
+// TestConcurrentHooks hammers the hooks from many goroutines (run under
+// -race in CI): the counters must account for every hit exactly once.
+func TestConcurrentHooks(t *testing.T) {
+	Enable(Config{Seed: 77, FailOneIn: 16, YieldOneIn: 8, Record: true})
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Fail(SeqlockValidate)
+				Step(CoreMerge)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := Disable()
+	if want := uint64(goroutines * perG * 2); rep.Steps != want {
+		t.Fatalf("steps = %d, want %d", rep.Steps, want)
+	}
+	if rep.Sites[SeqlockValidate].Calls != goroutines*perG {
+		t.Fatalf("validate calls = %d", rep.Sites[SeqlockValidate].Calls)
+	}
+	if rep.Fails() == 0 {
+		t.Fatal("no forced failures across 4000 draws at 1-in-16")
+	}
+}

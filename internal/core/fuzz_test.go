@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // FuzzMapModel drives the skip vector with an op byte-stream cross-checked
 // against a map model, over several configurations, with full invariant
@@ -77,6 +80,84 @@ func FuzzMapModel(f *testing.F) {
 		}
 		if err := m.CheckInvariants(); err != nil {
 			t.Fatalf("invariants: %v\n%s", err, m.Dump())
+		}
+	})
+}
+
+// FuzzBulkLoad exercises BulkLoad across key-count and chunk-boundary
+// combinations: the loaded structure must pass full invariant checking,
+// answer lookups for every loaded key and miss the gaps between them, and
+// remain correct after post-load mutation. The seed corpus pins the
+// boundary shapes: empty input, exactly one target-size chunk, and one key
+// past an exact two-chunk fill (2×targetSize+1), for both the default
+// config (targetSize 32) and the tiny-chunk one (targetSize 2).
+func FuzzBulkLoad(f *testing.F) {
+	f.Add(uint16(0), uint8(0), uint8(1))  // empty, default config
+	f.Add(uint16(32), uint8(0), uint8(1)) // exactly targetSize
+	f.Add(uint16(65), uint8(0), uint8(1)) // 2*targetSize+1
+	f.Add(uint16(0), uint8(1), uint8(3))  // empty, tiny chunks
+	f.Add(uint16(2), uint8(1), uint8(3))  // exactly tiny targetSize
+	f.Add(uint16(5), uint8(1), uint8(3))  // 2*targetSize+1, tiny chunks
+	f.Add(uint16(31), uint8(2), uint8(7)) // one short of a chunk, single layer
+	f.Add(uint16(64), uint8(3), uint8(2)) // exact two-chunk fill, deep index
+
+	f.Fuzz(func(t *testing.T, n uint16, cfgSel uint8, stride uint8) {
+		cfg := DefaultConfig()
+		switch cfgSel % 4 {
+		case 1:
+			cfg.TargetDataVectorSize = 2
+			cfg.TargetIndexVectorSize = 2
+			cfg.LayerCount = 5
+		case 2:
+			cfg.LayerCount = 1
+			cfg.Reclaim = ReclaimLeak
+		case 3:
+			cfg.TargetIndexVectorSize = 1
+			cfg.LayerCount = 8
+			cfg.SortedData = true
+		}
+		if n > 4096 {
+			n = 4096 // bound structure size, not coverage
+		}
+		step := int64(stride%16) + 1
+		keys := make([]int64, int(n))
+		for i := range keys {
+			keys[i] = int64(i)*step + 1
+		}
+		m, err := BulkLoad[int64](cfg, keys, nil)
+		if err != nil {
+			t.Fatalf("BulkLoad(%d keys, step %d): %v", n, step, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after load: %v\n%s", err, m.Dump())
+		}
+		if m.Len() != len(keys) {
+			t.Fatalf("Len = %d, want %d", m.Len(), len(keys))
+		}
+		for _, k := range keys {
+			if _, ok := m.Lookup(k); !ok {
+				t.Fatalf("loaded key %d missing", k)
+			}
+			if step > 1 {
+				if _, ok := m.Lookup(k + 1); ok {
+					t.Fatalf("gap key %d present", k+1)
+				}
+			}
+		}
+		// Mutate across chunk boundaries and re-check: the bulk-loaded shape
+		// (perfectly packed chunks, orphaned top layer) must split and merge
+		// like a grown one.
+		rng := rand.New(rand.NewSource(int64(n)*31 + int64(stride)))
+		for i := 0; i < 128; i++ {
+			k := int64(rng.Intn(int(n)*int(step)+8)) + 1
+			if rng.Intn(2) == 0 {
+				m.Insert(k, &k)
+			} else {
+				m.Remove(k)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after mutation: %v\n%s", err, m.Dump())
 		}
 	})
 }

@@ -1,6 +1,9 @@
 package core
 
-import "skipvector/internal/seqlock"
+import (
+	"skipvector/internal/chaos"
+	"skipvector/internal/seqlock"
+)
 
 // insertState carries Insert's cross-restart bookkeeping: the nodes frozen
 // at each layer (prevs, Listing 3 line 13) and the checkpoint. Frozen nodes
@@ -93,6 +96,7 @@ func (m *Map[V]) insertAttempt(
 				st.prevs[curr.level] = curr
 				st.lowestFrozen = int(curr.level)
 				ver = fver
+				chaos.Step(chaos.CoreFreeze)
 			}
 		}
 		resume = false
@@ -130,6 +134,7 @@ func (m *Map[V]) insertAttempt(
 	ctx.drop(curr)
 	st.prevs[0] = curr
 	st.lowestFrozen = 0
+	chaos.Step(chaos.CoreFreeze)
 
 	if curr.data.Contains(k) {
 		st.thawAll(height)
@@ -178,6 +183,10 @@ func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, h
 
 	child := nd
 	for layer := 1; layer < height; layer++ {
+		// Lower layers are already published; searches may land on them
+		// before this layer's entry exists (Section IV-C). Stretch that
+		// window.
+		chaos.Step(chaos.CoreSplit)
 		p := st.prevs[layer]
 		p.lock.UpgradeFrozen()
 		ni := m.mem.allocRaw(layer)
@@ -192,6 +201,7 @@ func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, h
 
 	// At the chosen height, k joins an existing node (splitting only if it
 	// is at capacity).
+	chaos.Step(chaos.CoreSplit)
 	p := st.prevs[height]
 	p.lock.UpgradeFrozen()
 	target := p
@@ -219,6 +229,7 @@ func (m *Map[V]) splitFull(ctx *opCtx[V], n *node[V], k int64) *node[V] {
 	}
 	o.markOrphanPrivate()
 	o.next.Store(n.next.Load())
+	chaos.Step(chaos.CoreSplit)
 	n.next.Store(o)
 	m.stats.Splits.Add(1)
 	if k >= pivot {

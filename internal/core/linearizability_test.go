@@ -79,18 +79,18 @@ func TestLinearizability(t *testing.T) {
 	}
 }
 
-// TestLinearizabilityWithRangeOps mixes point ops with single-key
-// RangeUpdate (modelled as remove+insert? No — RangeUpdate preserves
-// presence, so model its observation as a Lookup and its write as a value
-// change). Here we restrict to RangeQuery observations: every key/value
-// pair a linearizable range query reports must be consistent with some
-// linearization, which for a single-key window reduces to a Lookup event.
+// TestLinearizabilityWithRangeOps mixes point ops with genuine multi-key
+// range operations, machine-checking the linearizable-range claim
+// (Section IV-C / V-B): every RangeQuery snapshot must equal some
+// linearization point's state restricted to its window, and every
+// RangeUpdate must apply its delta to the whole window atomically.
 func TestLinearizabilityWithRangeOps(t *testing.T) {
 	cfg := testConfigs()["tiny-chunks"]
 	const (
-		rounds  = 40
-		procs   = 3
-		opsEach = 4
+		rounds   = 40
+		procs    = 3
+		opsEach  = 4
+		keySpace = 4
 	)
 	for round := 0; round < rounds; round++ {
 		m := newTestMap(t, cfg)
@@ -102,8 +102,8 @@ func TestLinearizabilityWithRangeOps(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed))
 				for i := 0; i < opsEach; i++ {
-					k := int64(rng.Intn(3))
-					switch rng.Intn(4) {
+					k := int64(rng.Intn(keySpace))
+					switch rng.Intn(5) {
 					case 0:
 						v := int64(p*1000 + i)
 						inv := rec.Begin()
@@ -121,24 +121,35 @@ func TestLinearizabilityWithRangeOps(t *testing.T) {
 							rv = *pv
 						}
 						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: ok, RetVal: rv}, inv)
-					default:
-						// Single-key linearizable range query == Lookup.
+					case 3:
+						// Multi-key window: the snapshot must be exact.
+						lo := k
+						hi := lo + int64(rng.Intn(keySpace))
 						inv := rec.Begin()
-						found := false
-						var rv int64
-						m.RangeQuery(k, k, func(_ int64, v *int64) bool {
-							found = true
-							rv = *v
+						var pairs []lincheck.KV
+						m.RangeQuery(lo, hi, func(qk int64, qv *int64) bool {
+							pairs = append(pairs, lincheck.KV{K: qk, V: *qv})
 							return true
 						})
-						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: found, RetVal: rv}, inv)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRangeQuery, Key: lo, Hi: hi, Pairs: pairs}, inv)
+					default:
+						// Atomic increment over a window.
+						lo := k
+						hi := lo + int64(rng.Intn(keySpace))
+						inv := rec.Begin()
+						count := m.RangeUpdate(lo, hi, func(_ int64, v *int64) *int64 {
+							nv := *v + 1
+							return &nv
+						})
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRangeUpdate, Key: lo, Hi: hi, Delta: 1, RetVal: int64(count)}, inv)
 					}
 				}
 			}(p, int64(round*31+p))
 		}
 		wg.Wait()
 		if ok, msg := lincheck.Check(rec.History()); !ok {
-			t.Fatalf("round %d: %s", round, msg)
+			t.Fatalf("round %d: %s\n%s", round, msg, m.Dump())
 		}
+		mustCheck(t, m)
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "skipvector/internal/seqlock"
+import (
+	"skipvector/internal/chaos"
+	"skipvector/internal/seqlock"
+)
 
 // Remove deletes the mapping for k, returning true when k was present
 // (Listing 4). A successful Remove linearizes at the write-acquisition of
@@ -90,6 +93,9 @@ func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
 		}
 		child.lock.Acquire()
 		child.lock.SetOrphan(true)
+		// The child is locked+orphan while its (about to be released)
+		// parent still holds k; stretch this hand-over-hand window.
+		chaos.Step(chaos.CoreOrphan)
 		curr.lock.Release()
 		curr = child
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "skipvector/internal/seqlock"
+import (
+	"skipvector/internal/chaos"
+	"skipvector/internal/seqlock"
+)
 
 // traverseMode distinguishes read-only traversals from mutating ones:
 // Lookup only unlinks empty orphans, while Insert and Remove additionally
@@ -115,6 +118,9 @@ func (m *Map[V]) mergeOrphan(
 		curr.lock.Abort()
 		return false, 0
 	}
+	// Both nodes are now locked but nothing is absorbed or unlinked yet;
+	// stretch the window optimistic readers must detect and restart from.
+	chaos.Step(chaos.CoreMerge)
 	// Re-check under the locks: the snapshots guaranteed this held at
 	// upgrade time, but make the invariant explicit.
 	if next.isIndex() != curr.isIndex() {

@@ -27,6 +27,8 @@ package hazard
 import (
 	"sync"
 	"sync/atomic"
+
+	"skipvector/internal/chaos"
 )
 
 // SlotsPerHandle is the number of hazard pointers each handle can hold at
@@ -136,7 +138,9 @@ func (h *Handle[T]) ClearAll() {
 func (h *Handle[T]) Retire(p *T) {
 	h.retired = append(h.retired, p)
 	h.domain.retiredCount.Add(1)
-	if len(h.retired) >= scanThreshold {
+	// A forced chaos failure scans early, racing reclamation against
+	// in-flight traversals far more often than the threshold would.
+	if len(h.retired) >= scanThreshold || chaos.Fail(chaos.HazardRetire) {
 		h.scan()
 	}
 }
@@ -161,6 +165,11 @@ func (h *Handle[T]) scan() {
 			}
 		}
 	}
+	// Perturbing between the snapshot and the sweep stretches the window
+	// in which a traversal may publish a hazard pointer the snapshot
+	// missed; the protocol tolerates it because such a node was already
+	// unreachable when it was retired.
+	chaos.Step(chaos.HazardScan)
 	keep := h.retired[:0]
 	for _, p := range h.retired {
 		if _, live := protected[p]; live {

@@ -25,6 +25,13 @@ const (
 	KindLookup Kind = iota + 1
 	KindInsert
 	KindRemove
+	// KindRangeQuery is a serializable range query over [Key,Hi]: the
+	// Pairs it observed must equal some linearization point's state
+	// restricted to the window, exactly and in ascending key order.
+	KindRangeQuery
+	// KindRangeUpdate adds Delta to every value in [Key,Hi] as one atomic
+	// operation; RetVal is the number of mappings it visited.
+	KindRangeUpdate
 )
 
 func (k Kind) String() string {
@@ -35,9 +42,18 @@ func (k Kind) String() string {
 		return "insert"
 	case KindRemove:
 		return "remove"
+	case KindRangeQuery:
+		return "rangequery"
+	case KindRangeUpdate:
+		return "rangeupdate"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// KV is one observed key/value pair in a range query's snapshot.
+type KV struct {
+	K, V int64
 }
 
 // Event is one completed operation with its real-time interval. Timestamps
@@ -46,10 +62,13 @@ func (k Kind) String() string {
 type Event struct {
 	Proc   int
 	Kind   Kind
-	Key    int64
+	Key    int64 // point-op key; lower bound of a range window
+	Hi     int64 // inclusive upper bound of a range window
 	Val    int64 // value argument for Insert
+	Delta  int64 // increment a RangeUpdate applies to each value in range
+	Pairs  []KV  // snapshot a RangeQuery observed, ascending key order
 	RetOK  bool  // operation's boolean result (found / inserted / removed)
-	RetVal int64 // value returned by a successful Lookup
+	RetVal int64 // value returned by a Lookup; count visited by a RangeUpdate
 	Invoke int64
 	Return int64
 }
@@ -61,6 +80,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("P%d insert(%d,%d)=%t @[%d,%d]", e.Proc, e.Key, e.Val, e.RetOK, e.Invoke, e.Return)
 	case KindRemove:
 		return fmt.Sprintf("P%d remove(%d)=%t @[%d,%d]", e.Proc, e.Key, e.RetOK, e.Invoke, e.Return)
+	case KindRangeQuery:
+		return fmt.Sprintf("P%d rangequery[%d,%d]=%v @[%d,%d]", e.Proc, e.Key, e.Hi, e.Pairs, e.Invoke, e.Return)
+	case KindRangeUpdate:
+		return fmt.Sprintf("P%d rangeupdate[%d,%d]+=%d visited %d @[%d,%d]", e.Proc, e.Key, e.Hi, e.Delta, e.RetVal, e.Invoke, e.Return)
 	default:
 		return fmt.Sprintf("P%d lookup(%d)=(%d,%t) @[%d,%d]", e.Proc, e.Key, e.RetVal, e.RetOK, e.Invoke, e.Return)
 	}
@@ -148,18 +171,15 @@ func Check(history []Event) (bool, string) {
 			if e.Invoke > minReturn {
 				continue // some remaining op strictly precedes e
 			}
-			old, had := state[e.Key]
-			if !applies(e, state) {
+			undo, ok := apply(e, state)
+			if !ok {
 				continue
 			}
 			if dfs(mask|(1<<i), state) {
 				return true
 			}
-			// Undo.
-			if had {
-				state[e.Key] = old
-			} else {
-				delete(state, e.Key)
+			if undo != nil {
+				undo()
 			}
 		}
 		return false
@@ -176,32 +196,84 @@ func Check(history []Event) (bool, string) {
 	return false, b.String()
 }
 
-// applies checks e against the sequential spec and, when consistent,
-// applies its effect to state.
-func applies(e Event, state map[int64]int64) bool {
-	v, present := state[e.Key]
+// apply checks e against the sequential spec and, when consistent,
+// applies its effect to state. It returns an undo closure (nil when the
+// event changed nothing) so the DFS can backtrack multi-key effects.
+func apply(e Event, state map[int64]int64) (func(), bool) {
 	switch e.Kind {
 	case KindLookup:
-		return e.RetOK == present && (!present || e.RetVal == v)
+		v, present := state[e.Key]
+		if e.RetOK != present || (present && e.RetVal != v) {
+			return nil, false
+		}
+		return nil, true
 	case KindInsert:
+		_, present := state[e.Key]
 		if e.RetOK == present {
-			return false
+			return nil, false
 		}
-		if e.RetOK {
-			state[e.Key] = e.Val
+		if !e.RetOK {
+			return nil, true
 		}
-		return true
+		k := e.Key
+		state[k] = e.Val
+		return func() { delete(state, k) }, true
 	case KindRemove:
+		v, present := state[e.Key]
 		if e.RetOK != present {
-			return false
+			return nil, false
 		}
-		if e.RetOK {
-			delete(state, e.Key)
+		if !e.RetOK {
+			return nil, true
 		}
-		return true
+		k := e.Key
+		delete(state, k)
+		return func() { state[k] = v }, true
+	case KindRangeQuery:
+		// The observed snapshot must be exactly the state's restriction to
+		// [Key,Hi]: same keys, same values, ascending order.
+		keys := keysInRange(state, e.Key, e.Hi)
+		if len(keys) != len(e.Pairs) {
+			return nil, false
+		}
+		for i, k := range keys {
+			if e.Pairs[i].K != k || e.Pairs[i].V != state[k] {
+				return nil, false
+			}
+		}
+		return nil, true
+	case KindRangeUpdate:
+		keys := keysInRange(state, e.Key, e.Hi)
+		if e.RetVal != int64(len(keys)) {
+			return nil, false
+		}
+		if e.Delta == 0 || len(keys) == 0 {
+			return nil, true
+		}
+		d := e.Delta
+		for _, k := range keys {
+			state[k] += d
+		}
+		return func() {
+			for _, k := range keys {
+				state[k] -= d
+			}
+		}, true
 	default:
-		return false
+		return nil, false
 	}
+}
+
+// keysInRange returns the state's keys within [lo,hi], ascending.
+func keysInRange(state map[int64]int64, lo, hi int64) []int64 {
+	var keys []int64
+	for k := range state {
+		if lo <= k && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // sigOf serializes the map state for memoization.

@@ -163,3 +163,126 @@ func TestKindString(t *testing.T) {
 		t.Fatal("Kind strings wrong")
 	}
 }
+
+func TestRangeQuerySequential(t *testing.T) {
+	h := seq(
+		Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+		Event{Kind: KindInsert, Key: 3, Val: 30, RetOK: true},
+		Event{Kind: KindInsert, Key: 9, Val: 90, RetOK: true},
+		// Window [1,5] sees exactly {1:10, 3:30}, in order.
+		Event{Kind: KindRangeQuery, Key: 1, Hi: 5, Pairs: []KV{{1, 10}, {3, 30}}},
+		// Empty window.
+		Event{Kind: KindRangeQuery, Key: 4, Hi: 8},
+		Event{Kind: KindRemove, Key: 3, RetOK: true},
+		Event{Kind: KindRangeQuery, Key: 1, Hi: 5, Pairs: []KV{{1, 10}}},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestRangeQueryIllegalSnapshots(t *testing.T) {
+	cases := [][]Event{
+		// Sees a key never inserted.
+		seq(Event{Kind: KindRangeQuery, Key: 0, Hi: 9, Pairs: []KV{{1, 10}}}),
+		// Misses a key that must be present.
+		seq(
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindRangeQuery, Key: 0, Hi: 9},
+		),
+		// Sees a stale value.
+		seq(
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 1},
+			Event{Kind: KindRangeQuery, Key: 0, Hi: 9, Pairs: []KV{{2, 20}}},
+		),
+		// A torn snapshot: observes one of two keys that were both present
+		// at every point after their (completed) inserts.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 1, RetOK: true},
+			Event{Kind: KindInsert, Key: 2, Val: 2, RetOK: true},
+			Event{Kind: KindRangeQuery, Key: 0, Hi: 9, Pairs: []KV{{2, 2}}},
+		),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal range snapshot accepted", i)
+		}
+	}
+}
+
+func TestRangeQueryOverlappingInsertEitherWay(t *testing.T) {
+	// Range query overlaps an insert into its window: both the pre- and
+	// post-insert snapshots are linearizable.
+	for _, pairs := range [][]KV{nil, {{4, 40}}} {
+		h := []Event{
+			{Kind: KindInsert, Key: 4, Val: 40, RetOK: true, Invoke: 1, Return: 4},
+			{Kind: KindRangeQuery, Key: 0, Hi: 9, Pairs: pairs, Invoke: 2, Return: 3},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("pairs=%v: %s", pairs, msg)
+		}
+	}
+}
+
+func TestRangeUpdateSequential(t *testing.T) {
+	h := seq(
+		Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+		Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+		Event{Kind: KindRangeUpdate, Key: 1, Hi: 2, Delta: 5, RetVal: 2},
+		Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 15},
+		Event{Kind: KindLookup, Key: 2, RetOK: true, RetVal: 25},
+		// Update over an empty window visits nothing.
+		Event{Kind: KindRangeUpdate, Key: 100, Hi: 200, Delta: 1, RetVal: 0},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestRangeUpdateIllegalHistories(t *testing.T) {
+	cases := [][]Event{
+		// Count mismatch: claims to have visited a mapping that can't exist.
+		seq(Event{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 1}),
+		// A lookup later observes a value the update must have changed.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+			Event{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 1},
+			Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+		),
+		// Update applied to only part of its window: key 2's value proves
+		// the delta landed, key 1's proves it did not.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 2},
+			Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+			Event{Kind: KindLookup, Key: 2, RetOK: true, RetVal: 21},
+		),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal range update accepted", i)
+		}
+	}
+}
+
+func TestRangeUpdateOverlappingLookup(t *testing.T) {
+	// Lookup overlapping a range update may see either value.
+	for _, val := range []int64{10, 11} {
+		h := []Event{
+			{Kind: KindInsert, Key: 1, Val: 10, RetOK: true, Invoke: 1, Return: 2},
+			{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 1, Invoke: 3, Return: 6},
+			{Kind: KindLookup, Key: 1, RetOK: true, RetVal: val, Invoke: 4, Return: 5},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("val=%d: %s", val, msg)
+		}
+	}
+}
+
+func TestRangeKindStrings(t *testing.T) {
+	if KindRangeQuery.String() != "rangequery" || KindRangeUpdate.String() != "rangeupdate" {
+		t.Fatal("range Kind strings wrong")
+	}
+}

@@ -1,0 +1,230 @@
+package seqlock
+
+import "testing"
+
+// maxSeqWord is a lock word whose sequence counter is saturated: all
+// sequence bits set, all flag bits clear. The next releasing increment
+// wraps the counter to zero.
+const maxSeqWord = ^uint64(0) &^ flagMask
+
+// TestSequenceCounterWraparound drives the sequence counter across the
+// 61-bit overflow boundary and checks that the wrap is confined to the
+// counter: flags survive, subsequent acquire/release cycles keep counting
+// from zero, and validation still distinguishes pre- and post-wrap
+// snapshots.
+func TestSequenceCounterWraparound(t *testing.T) {
+	t.Run("plain-release", func(t *testing.T) {
+		var l Lock
+		l.word.Store(maxSeqWord)
+		pre, ok := l.ReadVersion()
+		if !ok || pre.Seq() != maxSeqWord>>3 {
+			t.Fatalf("setup snapshot: %v ok=%t", pre, ok)
+		}
+		if !l.TryUpgrade(pre) {
+			t.Fatal("TryUpgrade at max sequence failed")
+		}
+		v := l.Release()
+		if v.Seq() != 0 {
+			t.Fatalf("sequence after wrap = %d, want 0", v.Seq())
+		}
+		if v.Locked() || v.Frozen() || v.Orphan() {
+			t.Fatalf("wrap leaked into flag bits: %v", v)
+		}
+		// The pre-wrap snapshot must now fail to validate even though the
+		// flag bits match: the counter itself changed.
+		if l.Validate(pre) {
+			t.Fatal("stale pre-wrap snapshot validated after wrap")
+		}
+		// Counting resumes normally from zero.
+		l.Acquire()
+		if v = l.Release(); v.Seq() != 1 {
+			t.Fatalf("sequence after post-wrap release = %d, want 1", v.Seq())
+		}
+	})
+
+	t.Run("orphan-preserved", func(t *testing.T) {
+		var l Lock
+		l.word.Store(maxSeqWord | orphanBit)
+		v, ok := l.ReadVersion()
+		if !ok || !v.Orphan() {
+			t.Fatalf("setup snapshot: %v ok=%t", v, ok)
+		}
+		l.Acquire()
+		v = l.Release()
+		if v.Seq() != 0 {
+			t.Fatalf("sequence after wrap = %d, want 0", v.Seq())
+		}
+		if !v.Orphan() {
+			t.Fatal("orphan bit lost across wraparound")
+		}
+		if v.Locked() || v.Frozen() {
+			t.Fatalf("unexpected flags after wrap: %v", v)
+		}
+	})
+
+	t.Run("frozen-upgrade-path", func(t *testing.T) {
+		var l Lock
+		l.word.Store(maxSeqWord)
+		v, _ := l.ReadVersion()
+		fv, ok := l.TryFreeze(v)
+		if !ok || !fv.Frozen() || fv.Seq() != maxSeqWord>>3 {
+			t.Fatalf("TryFreeze at max sequence: %v ok=%t", fv, ok)
+		}
+		l.UpgradeFrozen()
+		v = l.Release()
+		if v.Seq() != 0 || v.Frozen() || v.Locked() {
+			t.Fatalf("after freeze→upgrade→release across wrap: %v", v)
+		}
+	})
+
+	t.Run("abort-does-not-wrap", func(t *testing.T) {
+		var l Lock
+		l.word.Store(maxSeqWord | orphanBit)
+		v, _ := l.ReadVersion()
+		if !l.TryUpgrade(v) {
+			t.Fatal("TryUpgrade failed")
+		}
+		av := l.Abort()
+		// Abort restores the pre-acquisition word: the saturated counter
+		// must still be saturated and the old snapshot valid again.
+		if av != v {
+			t.Fatalf("Abort returned %v, want pre-acquire %v", av, v)
+		}
+		if !l.Validate(v) {
+			t.Fatal("pre-acquire snapshot invalid after Abort")
+		}
+	})
+}
+
+// TestFlagPreservationAcrossCycles walks the orphan and frozen flags through
+// every lock/unlock-style transition and checks each one touches exactly the
+// bits it is specified to touch.
+func TestFlagPreservationAcrossCycles(t *testing.T) {
+	t.Run("orphan-across-acquire-release", func(t *testing.T) {
+		var l Lock
+		l.Acquire()
+		l.SetOrphan(true)
+		v := l.Release()
+		if !v.Orphan() || v.Seq() != 1 {
+			t.Fatalf("after set+release: %v", v)
+		}
+		// Ten modification cycles must keep the flag while advancing seq.
+		for i := 0; i < 10; i++ {
+			l.Acquire()
+			v = l.Release()
+		}
+		if !v.Orphan() || v.Seq() != 11 {
+			t.Fatalf("after 10 cycles: %v", v)
+		}
+		if !l.IsOrphan() {
+			t.Fatal("IsOrphan lost the flag")
+		}
+		l.Acquire()
+		l.SetOrphan(false)
+		if v = l.Release(); v.Orphan() {
+			t.Fatalf("orphan bit survived clearing: %v", v)
+		}
+	})
+
+	t.Run("orphan-across-abort", func(t *testing.T) {
+		var l Lock
+		l.Acquire()
+		l.SetOrphan(true)
+		l.Release()
+		before := l.Current()
+		l.Acquire()
+		v := l.Abort()
+		if v != before {
+			t.Fatalf("Abort changed word: %v -> %v", before, v)
+		}
+		if !v.Orphan() {
+			t.Fatal("orphan bit lost across Abort")
+		}
+	})
+
+	t.Run("orphan-across-freeze-thaw", func(t *testing.T) {
+		var l Lock
+		l.Acquire()
+		l.SetOrphan(true)
+		v := l.Release()
+		fv, ok := l.TryFreeze(v)
+		if !ok || !fv.Frozen() || !fv.Orphan() {
+			t.Fatalf("TryFreeze: %v ok=%t", fv, ok)
+		}
+		if fv.Seq() != v.Seq() {
+			t.Fatalf("freeze bumped sequence: %v -> %v", v, fv)
+		}
+		l.Thaw()
+		if cur := l.Current(); cur != v {
+			t.Fatalf("Thaw did not restore pre-freeze word: %v, want %v", cur, v)
+		}
+		// Readers whose snapshot predates the freeze are valid again.
+		if !l.Validate(v) {
+			t.Fatal("pre-freeze snapshot invalid after Thaw")
+		}
+	})
+
+	t.Run("orphan-across-freeze-upgrade-release", func(t *testing.T) {
+		var l Lock
+		l.Acquire()
+		l.SetOrphan(true)
+		v := l.Release()
+		fv, ok := l.TryFreeze(v)
+		if !ok {
+			t.Fatal("TryFreeze failed")
+		}
+		l.UpgradeFrozen()
+		cur := l.Current()
+		if !cur.Locked() || cur.Frozen() || !cur.Orphan() {
+			t.Fatalf("after UpgradeFrozen: %v", cur)
+		}
+		end := l.Release()
+		if !end.Orphan() || end.Frozen() || end.Locked() {
+			t.Fatalf("after release: %v", end)
+		}
+		if end.Seq() != fv.Seq()+1 {
+			t.Fatalf("sequence advanced by %d, want 1", end.Seq()-fv.Seq())
+		}
+	})
+
+	t.Run("frozen-node-rejects-other-writers", func(t *testing.T) {
+		var l Lock
+		v, _ := l.ReadVersion()
+		fv, ok := l.TryFreeze(v)
+		if !ok {
+			t.Fatal("TryFreeze failed")
+		}
+		// Neither the stale nor the frozen snapshot may upgrade or re-freeze:
+		// only the freezer's UpgradeFrozen path is allowed in.
+		if l.TryUpgrade(v) {
+			t.Fatal("TryUpgrade with stale snapshot succeeded on frozen lock")
+		}
+		if l.TryUpgrade(fv) {
+			t.Fatal("TryUpgrade succeeded on frozen lock")
+		}
+		if _, ok := l.TryFreeze(fv); ok {
+			t.Fatal("double freeze succeeded")
+		}
+		// Optimistic reads still work and carry the frozen bit.
+		rv, ok := l.ReadVersion()
+		if !ok || !rv.Frozen() {
+			t.Fatalf("ReadVersion on frozen lock: %v ok=%t", rv, ok)
+		}
+	})
+
+	t.Run("release-clears-frozen-with-locked", func(t *testing.T) {
+		var l Lock
+		v, _ := l.ReadVersion()
+		if _, ok := l.TryFreeze(v); !ok {
+			t.Fatal("TryFreeze failed")
+		}
+		l.UpgradeFrozen()
+		end := l.Release()
+		if end.Frozen() || end.Locked() {
+			t.Fatalf("Release left flags set: %v", end)
+		}
+		if end.Seq() != v.Seq()+1 {
+			t.Fatalf("sequence after release: %v", end)
+		}
+	})
+}

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"skipvector/internal/chaos"
 )
 
 // Bit layout of the lock word.
@@ -77,6 +79,11 @@ type Lock struct {
 // A frozen (but unlocked) node is readable: the returned version carries the
 // frozen bit and remains valid until the freezer upgrades or thaws.
 func (l *Lock) ReadVersion() (Version, bool) {
+	if chaos.Fail(chaos.SeqlockRead) {
+		// Simulate exhausting the spin budget against a held lock; the
+		// caller restarts exactly as it would under real contention.
+		return Version(l.word.Load()), false
+	}
 	for i := 0; ; i++ {
 		w := l.word.Load()
 		if w&lockedBit == 0 {
@@ -93,6 +100,11 @@ func (l *Lock) ReadVersion() (Version, bool) {
 // proves that no writer acquired, froze, thawed, or released the lock since
 // v was taken, and therefore that all reads made under v were consistent.
 func (l *Lock) Validate(v Version) bool {
+	if chaos.Fail(chaos.SeqlockValidate) {
+		// Simulate a concurrent writer having changed the word; every
+		// caller treats a failed validation as a restart.
+		return false
+	}
 	return l.word.Load() == uint64(v)
 }
 
@@ -104,6 +116,10 @@ func (l *Lock) TryUpgrade(v Version) bool {
 	if uint64(v)&(lockedBit|frozenBit) != 0 {
 		return false
 	}
+	if chaos.Fail(chaos.SeqlockUpgrade) {
+		// Simulate losing the CAS race to another writer.
+		return false
+	}
 	return l.word.CompareAndSwap(uint64(v), uint64(v)|lockedBit)
 }
 
@@ -113,6 +129,10 @@ func (l *Lock) TryUpgrade(v Version) bool {
 // node must use.
 func (l *Lock) TryFreeze(v Version) (Version, bool) {
 	if uint64(v)&(lockedBit|frozenBit) != 0 {
+		return v, false
+	}
+	if chaos.Fail(chaos.SeqlockFreeze) {
+		// Simulate losing the freeze race.
 		return v, false
 	}
 	next := uint64(v) | frozenBit
@@ -150,6 +170,7 @@ func (l *Lock) Thaw() {
 // acquisition itself does not bump the sequence number (the release will),
 // but setting the locked bit immediately invalidates optimistic readers.
 func (l *Lock) Acquire() {
+	chaos.Step(chaos.SeqlockAcquire)
 	for i := 0; ; i++ {
 		w := l.word.Load()
 		if w&(lockedBit|frozenBit) == 0 {
@@ -169,6 +190,7 @@ func (l *Lock) Acquire() {
 // froze the node may call it. The frozen bit is cleared and the locked bit
 // set in a single atomic transition, so no other thread can sneak in.
 func (l *Lock) UpgradeFrozen() {
+	chaos.Step(chaos.SeqlockUpgrade)
 	for {
 		w := l.word.Load()
 		if w&frozenBit == 0 {

@@ -1,0 +1,224 @@
+package vectormap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestInsertIntoFullChunk pins the full-chunk contract: inserting a fresh
+// key into a chunk at capacity panics (the skip vector must split first),
+// while a duplicate key is rejected by the absence check before the
+// capacity check and must NOT panic.
+func TestInsertIntoFullChunk(t *testing.T) {
+	cases := []struct {
+		name      string
+		sorted    bool
+		key       int64 // key to insert once full
+		wantPanic bool
+	}{
+		{"sorted-fresh-key", true, 100, true},
+		{"unsorted-fresh-key", false, 100, true},
+		{"sorted-duplicate", true, 0, false},
+		{"unsorted-duplicate", false, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newChunk(t, 2, tc.sorted) // capacity 4
+			for k := int64(0); k < 4; k++ {
+				if !c.Insert(k, val(k)) {
+					t.Fatalf("setup Insert(%d) failed", k)
+				}
+			}
+			if !c.Full() {
+				t.Fatal("chunk not full after filling to capacity")
+			}
+			panicked := func() (p bool) {
+				defer func() { p = recover() != nil }()
+				if c.Insert(tc.key, val(tc.key)) {
+					t.Errorf("Insert(%d) into full chunk returned true", tc.key)
+				}
+				return
+			}()
+			if panicked != tc.wantPanic {
+				t.Fatalf("panic = %t, want %t", panicked, tc.wantPanic)
+			}
+			if !tc.wantPanic {
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("invariants after rejected duplicate: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoveToEmpty drains a full chunk in several orders and checks every
+// emptiness-related query plus reusability afterwards.
+func TestRemoveToEmpty(t *testing.T) {
+	orders := map[string]func(n int) []int64{
+		"ascending": func(n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out
+		},
+		"descending": func(n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(n - 1 - i)
+			}
+			return out
+		},
+		"shuffled": func(n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			rand.New(rand.NewSource(3)).Shuffle(n, func(i, j int) {
+				out[i], out[j] = out[j], out[i]
+			})
+			return out
+		},
+	}
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		for name, order := range orders {
+			t.Run(name, func(t *testing.T) {
+				const n = 8
+				c := newChunk(t, n/2, sorted)
+				for k := int64(0); k < n; k++ {
+					c.Insert(k, val(k*10))
+				}
+				for i, k := range order(n) {
+					v, ok := c.Remove(k)
+					if !ok || *v != k*10 {
+						t.Fatalf("Remove(%d) = (%v,%t)", k, v, ok)
+					}
+					if c.Size() != n-1-i {
+						t.Fatalf("size %d after %d removals", c.Size(), i+1)
+					}
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("invariants mid-drain: %v", err)
+					}
+				}
+				if c.Size() != 0 {
+					t.Fatalf("size %d after drain", c.Size())
+				}
+				if _, ok := c.MinKey(); ok {
+					t.Fatal("MinKey on empty chunk reported a key")
+				}
+				if _, ok := c.MaxKey(); ok {
+					t.Fatal("MaxKey on empty chunk reported a key")
+				}
+				if _, _, ok := c.FindLE(1 << 40); ok {
+					t.Fatal("FindLE on empty chunk reported an entry")
+				}
+				if _, ok := c.Remove(0); ok {
+					t.Fatal("Remove on empty chunk succeeded")
+				}
+				// The drained chunk must be immediately reusable.
+				if !c.Insert(7, val(77)) {
+					t.Fatal("Insert into drained chunk failed")
+				}
+				if v, ok := c.Get(7); !ok || *v != 77 {
+					t.Fatal("Get after refill failed")
+				}
+			})
+		}
+	})
+}
+
+// TestUnsortedDuplicateHandlingConcurrentReaders hammers an unsorted chunk
+// with a single writer that repeatedly tries duplicate inserts (the
+// unsorted policy's linear-scan absence check) and remove/re-insert
+// churn, while optimistic readers scan concurrently. Mirroring the node
+// discipline, the writer serializes through a mutex standing in for the
+// seqlock; readers run without it — they may observe torn states but must
+// never panic, index out of bounds, or loop past capacity. The final
+// quiescent chunk must hold exactly one copy of each key.
+func TestUnsortedDuplicateHandlingConcurrentReaders(t *testing.T) {
+	const (
+		target   = 8 // capacity 16
+		keySpace = 10
+		writes   = 4000
+	)
+	var c Chunk[int64]
+	c.Init(target, false)
+	var writerMu sync.Mutex // stands in for the owning node's write lock
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(rng.Intn(keySpace))
+				switch rng.Intn(4) {
+				case 0:
+					c.Get(k)
+				case 1:
+					c.FindLE(k)
+				case 2:
+					c.MinKey()
+				default:
+					calls := 0
+					c.ForEach(func(int64, *int64) bool {
+						calls++
+						return true
+					})
+					if calls > c.Cap() {
+						t.Errorf("ForEach visited %d > cap %d slots", calls, c.Cap())
+						return
+					}
+				}
+			}
+		}(int64(r) + 1)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < writes; i++ {
+		k := int64(rng.Intn(keySpace))
+		writerMu.Lock()
+		if c.Contains(k) {
+			if c.Insert(k, val(k)) {
+				writerMu.Unlock()
+				t.Fatal("duplicate insert succeeded")
+			}
+			if rng.Intn(2) == 0 {
+				c.Remove(k)
+			}
+		} else {
+			if !c.Insert(k, val(k)) {
+				writerMu.Unlock()
+				t.Fatal("insert of absent key failed")
+			}
+		}
+		writerMu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Quiescent: exactly one copy of every present key.
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+	seen := map[int64]int{}
+	c.ForEach(func(k int64, _ *int64) bool {
+		seen[k]++
+		return true
+	})
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %d present %d times", k, n)
+		}
+	}
+}
