@@ -285,6 +285,67 @@ func BenchmarkPointOps(b *testing.B) {
 	})
 }
 
+// BenchmarkFingerLocality measures the search-finger fast path against its
+// ablation for the locality spectrum: ascending lookups and cursor scans
+// (near-perfect locality), ascending bulk ingest, and uniform lookups (the
+// adversarial no-locality case, which bounds the finger's overhead). The
+// cmd/svbench "finger" figure is the multi-threaded counterpart.
+func BenchmarkFingerLocality(b *testing.B) {
+	const keyRange = 1 << 18
+	build := func(finger bool) *Map[uint64] {
+		m := New[uint64](WithSearchFinger(finger))
+		for k := int64(0); k < keyRange; k += 2 {
+			m.Insert(k, uint64(k))
+		}
+		return m
+	}
+	for _, mode := range []struct {
+		name   string
+		finger bool
+	}{{"finger-on", true}, {"finger-off", false}} {
+		b.Run("SeqLookup/"+mode.name, func(b *testing.B) {
+			m := build(mode.finger)
+			h := m.NewHandle()
+			defer h.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Lookup(int64(i) % keyRange)
+			}
+		})
+		b.Run("UniformLookup/"+mode.name, func(b *testing.B) {
+			m := build(mode.finger)
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Lookup(rng.Intn(keyRange))
+			}
+		})
+		b.Run("CursorScan/"+mode.name, func(b *testing.B) {
+			m := build(mode.finger)
+			cur := m.Cursor(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := cur.Next(); !ok {
+					cur.SeekTo(0)
+				}
+			}
+			b.StopTimer()
+			cur.Close()
+		})
+		b.Run("AscendingInsert/"+mode.name, func(b *testing.B) {
+			m := New[uint64](WithSearchFinger(mode.finger))
+			h := m.NewHandle()
+			defer h.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Insert(int64(i), uint64(i))
+			}
+		})
+	}
+}
+
 // BenchmarkBulkLoad compares O(n) bulk loading against incremental inserts
 // for index construction (the database-index build path).
 func BenchmarkBulkLoad(b *testing.B) {

@@ -1,17 +1,21 @@
 // Command svbench regenerates the paper's microbenchmark figures (1, 4, 5,
-// 7a, 7b, 8) plus the hazard-pointer cost ablation, printing each figure as
-// an aligned table (or CSV) of throughput numbers.
+// 7a, 7b, 8) plus the repo's own ablations (hazard-pointer cost, merge
+// threshold, memory footprint, B-link-tree comparator, search-finger locality
+// sweep), printing each figure as an aligned table (or CSV) of throughput
+// numbers.
 //
 // Usage:
 //
 //	svbench -fig 4 -scale paper
 //	svbench -fig all -scale quick -csv
+//	svbench -fig finger -scale paper -reps 6 -json BENCH_finger.json
 //
 // The "paper" scale is the scaled-down reproduction documented in
 // EXPERIMENTS.md; "quick" is a smoke-test setting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,11 +35,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, all")
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, all")
 		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
 		duration = fs.Duration("duration", 0, "override per-trial duration")
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = fs.String("json", "", "also write the emitted tables to this file as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,14 +62,26 @@ func run(args []string) error {
 		s.Reps = *reps
 	}
 
+	var emitted []*bench.Table
 	emit := func(tables ...*bench.Table) {
 		for _, t := range tables {
+			emitted = append(emitted, t)
 			if *csv {
 				fmt.Print(t.CSV())
 			} else {
 				fmt.Println(t.Render())
 			}
 		}
+	}
+	writeJSON := func() error {
+		if *jsonOut == "" {
+			return nil
+		}
+		data, err := json.MarshalIndent(emitted, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
 	}
 
 	runFig := func(name string) error {
@@ -125,6 +142,12 @@ func run(args []string) error {
 				return err
 			}
 			emit(t)
+		case "finger":
+			t, err := bench.FigFinger(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -132,12 +155,15 @@ func run(args []string) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt"} {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger"} {
 			if err := runFig(name); err != nil {
 				return err
 			}
 		}
-		return nil
+		return writeJSON()
 	}
-	return runFig(*fig)
+	if err := runFig(*fig); err != nil {
+		return err
+	}
+	return writeJSON()
 }

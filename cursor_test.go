@@ -104,6 +104,85 @@ func TestCursorEdgeKeys(t *testing.T) {
 	}
 }
 
+// TestCursorSessionLifecycle verifies the cursor's pinned session: it is
+// acquired lazily on the first Next, released automatically when the scan
+// exhausts, released by Close mid-scan (idempotently), and re-acquired when
+// a closed cursor is revived with SeekTo.
+func TestCursorSessionLifecycle(t *testing.T) {
+	m := New[int]()
+	for k := int64(0); k < 30; k++ {
+		m.Insert(k, int(k))
+	}
+	c := m.Cursor(0)
+	if c.h != nil {
+		t.Fatal("session pinned before first Next")
+	}
+	if k, _, ok := c.Next(); !ok || k != 0 {
+		t.Fatalf("first = %d,%t", k, ok)
+	}
+	if c.h == nil {
+		t.Fatal("first Next did not pin a session")
+	}
+	// Close mid-scan releases the session; a second Close is a no-op.
+	c.Close()
+	c.Close()
+	if c.h != nil {
+		t.Fatal("Close left the session pinned")
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("closed cursor yielded a key")
+	}
+	// SeekTo revives the cursor and Next re-pins a session.
+	c.SeekTo(10)
+	if k, _, ok := c.Next(); !ok || k != 10 {
+		t.Fatalf("after revive = %d,%t", k, ok)
+	}
+	if c.h == nil {
+		t.Fatal("revived cursor did not re-pin a session")
+	}
+	// Exhausting the scan auto-releases the session.
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if c.h != nil {
+		t.Fatal("exhausted cursor kept its session")
+	}
+}
+
+// TestCursorScanUsesFinger confirms a sequential scan actually rides the
+// search finger: after the first step, each Next should resume at the chunk
+// the previous step finished on.
+func TestCursorScanUsesFinger(t *testing.T) {
+	m := New[int64]()
+	const n = 3000
+	for k := int64(0); k < n; k++ {
+		m.Insert(k, k)
+	}
+	before := m.Stats()
+	c := m.Cursor(0)
+	count := 0
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("scanned %d keys, want %d", count, n)
+	}
+	st := m.Stats()
+	hits := st.FingerHits - before.FingerHits
+	misses := st.FingerMisses - before.FingerMisses
+	if hits+misses == 0 {
+		t.Fatal("scan recorded no finger activity")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.5 {
+		t.Fatalf("scan finger hit rate %.2f (hits=%d misses=%d)", rate, hits, misses)
+	}
+}
+
 // TestCursorUnderConcurrentChurn verifies a cursor makes monotone progress
 // and only ever reports stable keys while churn happens around it.
 func TestCursorUnderConcurrentChurn(t *testing.T) {

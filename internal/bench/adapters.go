@@ -29,6 +29,22 @@ type RangeMap interface {
 	RangeUpdate(lo, hi int64, fn func(k int64, v uint64) uint64) int
 }
 
+// Session is a single-goroutine view of an IntMap. Sessions carry
+// per-goroutine state — for the skip vector, the pinned search finger — and
+// must be Closed when the worker finishes.
+type Session interface {
+	IntMap
+	Close()
+}
+
+// Sessioner is implemented by adapters whose structure supports pinned
+// per-goroutine sessions. The trial runner gives each worker its own session
+// when available, so locality optimizations that live in per-handle state are
+// actually exercised under concurrency.
+type Sessioner interface {
+	NewSession() Session
+}
+
 // svMap adapts core.Map to IntMap/RangeMap.
 type svMap struct {
 	m *core.Map[uint64]
@@ -71,6 +87,35 @@ func (s *svMap) RangeUpdate(lo, hi int64, fn func(k int64, v uint64) uint64) int
 
 // Stats exposes the underlying skip vector counters (for ablation output).
 func (s *svMap) Stats() core.StatsSnapshot { return s.m.Stats() }
+
+var _ Sessioner = (*svMap)(nil)
+
+// NewSession pins a per-worker handle (and with it a search finger).
+func (s *svMap) NewSession() Session {
+	return &svSession{owner: s, h: s.m.NewHandle()}
+}
+
+// svSession is a worker-pinned view of a skip vector.
+type svSession struct {
+	owner *svMap
+	h     *core.Handle[uint64]
+}
+
+func (ss *svSession) Insert(k int64, v uint64) bool { return ss.h.Insert(k, &v) }
+
+func (ss *svSession) Lookup(k int64) (uint64, bool) {
+	p, ok := ss.h.Lookup(k)
+	if !ok {
+		return 0, false
+	}
+	return *p, true
+}
+
+func (ss *svSession) Remove(k int64) bool { return ss.h.Remove(k) }
+
+func (ss *svSession) Len() int { return ss.owner.Len() }
+
+func (ss *svSession) Close() { ss.h.Close() }
 
 // fslMap adapts the lock-free skip list baseline.
 type fslMap struct {

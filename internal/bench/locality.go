@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"skipvector/internal/workload"
+)
+
+// FingerPatterns are the access patterns of the search-finger locality
+// sweep, from no locality (uniform) through skew (Zipfian) to perfect
+// locality (sequential scan windows).
+func FingerPatterns(keyRange int64) []FingerPattern {
+	window := keyRange / 64
+	if window < 64 {
+		window = 64
+	}
+	return []FingerPattern{
+		{Name: "uniform", Mix: workload.MixReadHeavy},
+		{Name: "zipf-0.9", Mix: workload.MixReadHeavy, Zipf: 0.9},
+		{Name: "seq-scan", Mix: workload.Mix{LookupPct: 100}, SeqWindow: window},
+	}
+}
+
+// FingerPattern is one row of the locality sweep.
+type FingerPattern struct {
+	Name      string
+	Mix       workload.Mix
+	Zipf      float64
+	SeqWindow int64
+}
+
+// FigFinger runs the search-finger locality sweep: for each access pattern,
+// the same trial with the finger enabled (SV-HP, the default) and disabled
+// (SV-NoFinger), plus the resulting speedup and the finger hit rate observed
+// on the enabled run. The sweep is the acceptance gate for the finger: the
+// sequential scan should speed up substantially while uniform point
+// operations — where almost every probe misses — must not regress.
+func FigFinger(s Scale) (*Table, error) {
+	keyRange := Pow2(s.SensitivityRangeExp)
+	t := NewTable(
+		fmt.Sprintf("Finger locality sweep, %d threads, 2^%d keys",
+			s.SensitivityThreads, s.SensitivityRangeExp),
+		"pattern", []string{"finger-on", "finger-off", "speedup", "hit%"})
+	for _, p := range FingerPatterns(keyRange) {
+		var on, off, hitPct float64
+		for rep := 0; rep < s.Reps; rep++ {
+			cfg := TrialConfig{
+				Threads:   s.SensitivityThreads,
+				Duration:  s.Duration,
+				KeyRange:  keyRange,
+				Mix:       p.Mix,
+				Zipf:      p.Zipf,
+				SeqWindow: p.SeqWindow,
+				Seed:      s.Seed + uint64(rep)*0x9e37,
+			}
+			mOn := SVHP.New(keyRange)
+			resOn, err := RunTrial(mOn, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s finger-on: %w", p.Name, err)
+			}
+			if st := mOn.(*svMap).Stats(); st.FingerHits+st.FingerMisses > 0 {
+				hitPct += float64(st.FingerHits) /
+					float64(st.FingerHits+st.FingerMisses) * 100
+			}
+			resOff, err := RunTrial(SVNoFinger.New(keyRange), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s finger-off: %w", p.Name, err)
+			}
+			on += resOn.Throughput
+			off += resOff.Throughput
+		}
+		r := float64(s.Reps)
+		on, off, hitPct = on/r, off/r, hitPct/r
+		speedup := 0.0
+		if off > 0 {
+			speedup = on / off
+		}
+		t.AddRow(p.Name, []float64{on, off, speedup, hitPct})
+	}
+	return t, nil
+}

@@ -24,6 +24,10 @@ type TrialConfig struct {
 	// Zipf, if nonzero, draws keys from a scrambled Zipfian with this theta
 	// instead of the uniform distribution.
 	Zipf float64
+	// SeqWindow, if nonzero, draws keys in sequential ascending runs of this
+	// length (jumping to a random start between runs) instead of the uniform
+	// distribution — the locality extreme for the search-finger sweep.
+	SeqWindow int64
 	// RangeSpan is the width of range operations for OpRange.
 	RangeSpan int64
 	// Seed makes the trial deterministic.
@@ -44,6 +48,9 @@ func (c *TrialConfig) Validate() error {
 	}
 	if c.Mix.RangePct > 0 && c.RangeSpan <= 0 {
 		return fmt.Errorf("bench: range ops requested with RangeSpan %d", c.RangeSpan)
+	}
+	if c.Zipf > 0 && c.SeqWindow > 0 {
+		return fmt.Errorf("bench: Zipf and SeqWindow are mutually exclusive")
 	}
 	return c.Mix.Validate()
 }
@@ -109,14 +116,26 @@ func RunTrial(m IntMap, cfg TrialConfig) (TrialResult, error) {
 	for t := 0; t < cfg.Threads; t++ {
 		rng := root.Split()
 		var keys workload.KeyGen
-		if sharedZipf != nil {
+		switch {
+		case sharedZipf != nil:
 			keys = sharedZipf.WithRNG(rng)
-		} else {
+		case cfg.SeqWindow > 0:
+			keys = workload.NewSeqWindow(rng, cfg.KeyRange, cfg.SeqWindow)
+		default:
 			keys = workload.NewUniform(rng, cfg.KeyRange)
 		}
 		done.Add(1)
 		go func(id int, rng *workload.RNG, keys workload.KeyGen) {
 			defer done.Done()
+			// Workers operate through a pinned session when the structure
+			// offers one, so per-handle state (the search finger) sticks to
+			// this goroutine instead of shuffling through the shared pool.
+			view := m
+			if sp, ok := m.(Sessioner); ok {
+				sess := sp.NewSession()
+				defer sess.Close()
+				view = sess
+			}
 			start.Wait()
 			var local int64
 			rm, _ := m.(RangeMap)
@@ -127,11 +146,11 @@ func RunTrial(m IntMap, cfg TrialConfig) (TrialResult, error) {
 					k := keys.Next()
 					switch cfg.Mix.Next(rng) {
 					case workload.OpLookup:
-						m.Lookup(k)
+						view.Lookup(k)
 					case workload.OpInsert:
-						m.Insert(k, uint64(k))
+						view.Insert(k, uint64(k))
 					case workload.OpRemove:
-						m.Remove(k)
+						view.Remove(k)
 					case workload.OpRange:
 						lo := k
 						hi := lo + cfg.RangeSpan - 1
@@ -140,7 +159,7 @@ func RunTrial(m IntMap, cfg TrialConfig) (TrialResult, error) {
 								return v + 1
 							})
 						} else {
-							m.Lookup(k)
+							view.Lookup(k)
 						}
 					}
 					local++

@@ -77,6 +77,11 @@ const (
 	// CoreOrphan perturbs Remove's hand-over-hand descent right after a
 	// child is marked an orphan and before its parent is released.
 	CoreOrphan
+	// CoreFinger is hit when an operation tries to resume from its search
+	// finger, between publishing the hazard pointer and revalidating the
+	// remembered seqlock version; a forced failure simulates the node having
+	// changed, driving the finger-miss fallback to the full descent.
+	CoreFinger
 
 	// NumSites is the number of injection sites (array-sizing constant).
 	NumSites
@@ -107,6 +112,8 @@ func (s Site) String() string {
 		return "core.merge"
 	case CoreOrphan:
 		return "core.orphan"
+	case CoreFinger:
+		return "core.finger"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -8,14 +8,21 @@ import (
 )
 
 // opCtx is the per-operation (really per-goroutine, via pooling) state: the
-// hazard-pointer handle, a private RNG stream for insertion heights, and the
-// stripe used for the length counter. It corresponds to the thread-local
-// state a C++ implementation would keep.
+// hazard-pointer handle, a private RNG stream for insertion heights, the
+// stripe used for the length counter, and the search finger. It corresponds
+// to the thread-local state a C++ implementation would keep.
+//
+// The finger deliberately survives put/get cycles through the pool: a
+// single-threaded caller gets the same context back on every operation (the
+// free list is LIFO), so its locality carries across operations with no API
+// change. Callers that need guaranteed stickiness under concurrency pin a
+// context with Map.NewHandle.
 type opCtx[V any] struct {
 	m      *Map[V]
 	h      *hazard.Handle[node[V]] // nil in leak mode
 	rng    uint64                  // splitmix64 state
 	stripe int
+	fing   finger[V]
 }
 
 // splitmix64 advances the RNG and returns the next 64-bit value. It is the
@@ -94,6 +101,15 @@ func (c *opCtx[V]) dropAll() {
 	if c.h != nil {
 		c.h.ClearAll()
 	}
+}
+
+// restart accounts one failed optimistic attempt and resets the context so
+// the operation can retry from the top. Every retry loop in the package goes
+// through here, so stats.Restarts is a complete count of torn reads, failed
+// validations, lost CAS races, and chaos-forced failures alike.
+func (m *Map[V]) restart(ctx *opCtx[V]) {
+	m.stats.Restarts.Add(1)
+	ctx.dropAll()
 }
 
 // retire marks an unlinked node for reclamation ("HP.mark").

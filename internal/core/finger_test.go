@@ -1,0 +1,580 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skipvector/internal/chaos"
+	"skipvector/internal/lincheck"
+)
+
+// fingerTestMap builds a tiny-chunk map prefilled with keys 0, step, 2*step,
+// ... below limit, so data nodes hold only a handful of keys and every
+// structural event (split, merge, orphan) is easy to provoke.
+func fingerTestMap(t *testing.T, step, limit int64) *Map[int64] {
+	t.Helper()
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	for k := int64(0); k < limit; k += step {
+		m.Insert(k, v64(k))
+	}
+	return m
+}
+
+// fingerOn runs one lookup through ctx and returns the data node the finger
+// now remembers, with its exact bounds read under the remembered version.
+func fingerOn(t *testing.T, m *Map[int64], ctx *opCtx[int64], k int64) (n *node[int64], minK, maxK int64) {
+	t.Helper()
+	if _, found := m.lookupCtx(ctx, k); !found {
+		t.Fatalf("Lookup(%d) lost the key", k)
+	}
+	n = ctx.fing.node
+	if n == nil {
+		t.Fatalf("lookup(%d) did not record a finger", k)
+	}
+	minK, maxK, ok := n.data.Bounds()
+	if !ok {
+		t.Fatalf("finger node for %d is empty", k)
+	}
+	if !n.lock.Validate(ctx.fing.ver) {
+		t.Fatalf("recorded finger version already stale")
+	}
+	return n, minK, maxK
+}
+
+// seek probes the finger with a fresh backoff window and releases any hazard
+// pointer a hit leaves published, so tests can chain probes deterministically.
+func seek(m *Map[int64], ctx *opCtx[int64], k int64, mode fingerMode) bool {
+	ctx.fing.backoff = 0
+	_, _, hit := m.fingerSeek(ctx, k, mode)
+	ctx.dropAll()
+	return hit
+}
+
+func TestFingerHitAfterLookup(t *testing.T) {
+	m := fingerTestMap(t, 2, 400)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	before := m.Stats()
+	_, _, _ = fingerOn(t, m, ctx, 100)
+	if !seek(m, ctx, 100, fingerPoint) {
+		t.Fatal("repeat probe of the same key missed")
+	}
+	if got := m.Stats(); got.FingerHits <= before.FingerHits {
+		t.Fatalf("FingerHits did not advance: %d -> %d", before.FingerHits, got.FingerHits)
+	}
+	// A repeated lookup through the same context must also hit end to end.
+	hits := m.Stats().FingerHits
+	if _, found := m.lookupCtx(ctx, 100); !found {
+		t.Fatal("repeat lookup lost the key")
+	}
+	if m.Stats().FingerHits <= hits {
+		t.Fatal("repeat lookup did not use the finger")
+	}
+}
+
+func TestFingerSpanOwnership(t *testing.T) {
+	m := fingerTestMap(t, 2, 800)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	n, minK, maxK := fingerOn(t, m, ctx, 400)
+	succ := n.next.Load()
+	if succ == nil {
+		t.Fatal("finger node unexpectedly last")
+	}
+	succMin, ok := succ.minKey()
+	if !ok {
+		t.Fatal("successor has no minimum")
+	}
+
+	// Both stored extremes hit for point lookups.
+	if !seek(m, ctx, minK, fingerPoint) || !seek(m, ctx, maxK, fingerPoint) {
+		t.Fatal("in-chunk keys missed")
+	}
+	// The gap before the successor's minimum belongs to this node: with
+	// step-2 keys, maxK+1 is absent but owned (the ascending-ingest case).
+	if succMin != maxK+2 {
+		t.Fatalf("layout surprise: maxK=%d succMin=%d", maxK, succMin)
+	}
+	if !seek(m, ctx, maxK+1, fingerPoint) {
+		t.Fatal("gap key before successor missed")
+	}
+	if v, found := m.lookupCtx(ctx, maxK+1); found {
+		t.Fatalf("gap key reported present: %v", v)
+	}
+	// The successor's minimum is out of span for point mode but in span for
+	// scan mode (Ceiling walks right from here).
+	if seek(m, ctx, succMin, fingerPoint) {
+		t.Fatal("successor's minimum hit in point mode")
+	}
+	if !seek(m, ctx, succMin, fingerScan) {
+		t.Fatal("successor's minimum missed in scan mode")
+	}
+	// Keys beyond the successor's minimum miss in every mode.
+	if seek(m, ctx, succMin+1, fingerScan) || seek(m, ctx, succMin+1, fingerPoint) {
+		t.Fatal("key beyond successor hit")
+	}
+	// Keys below the node's minimum miss (quick reject once bounds cached).
+	if seek(m, ctx, minK-1, fingerPoint) {
+		t.Fatal("key below node minimum hit")
+	}
+}
+
+func TestFingerRemoveModeExcludesMinimum(t *testing.T) {
+	m := fingerTestMap(t, 2, 400)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	_, minK, maxK := fingerOn(t, m, ctx, 200)
+	if maxK == minK {
+		t.Skip("finger node holds a single key; layout too sparse for this test")
+	}
+	// Removing a node's minimum may need to unlink an index tower, which
+	// only the full descent can find — remove mode must decline.
+	if seek(m, ctx, minK, fingerRemove) {
+		t.Fatal("remove-mode probe hit on the node minimum")
+	}
+	if !seek(m, ctx, minK, fingerPoint) {
+		t.Fatal("point-mode probe missed the node minimum")
+	}
+	// Non-minimum keys are never indexed (indexed keys are data-node
+	// minima), so remove mode accepts them.
+	if !seek(m, ctx, maxK, fingerRemove) {
+		t.Fatal("remove-mode probe missed a non-minimum key")
+	}
+}
+
+func TestFingerInvalidatedByWrite(t *testing.T) {
+	m := fingerTestMap(t, 10, 1000)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	n, _, maxK := fingerOn(t, m, ctx, 500)
+	ver := ctx.fing.ver
+	// A write into the remembered node (map-level: separate context) bumps
+	// its word, so the stale version must fail validation.
+	if !m.Insert(maxK+1, v64(maxK+1)) {
+		t.Fatal("Insert into finger node failed")
+	}
+	if n.lock.Validate(ver) {
+		t.Fatal("write did not bump the node's word")
+	}
+	if seek(m, ctx, 500, fingerPoint) {
+		t.Fatal("probe hit through a stale version")
+	}
+	if ctx.fing.node != nil {
+		t.Fatal("failed validation did not drop the finger")
+	}
+	// The fallback descent re-records and the finger recovers.
+	if _, found := m.lookupCtx(ctx, 500); !found {
+		t.Fatal("lookup after invalidation lost the key")
+	}
+	if !seek(m, ctx, 500, fingerPoint) {
+		t.Fatal("finger did not recover after re-record")
+	}
+}
+
+func TestFingerInvalidatedBySplit(t *testing.T) {
+	m := fingerTestMap(t, 10, 1000)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	_, minK, _ := fingerOn(t, m, ctx, 500)
+	splitsBefore := m.Stats().Splits
+	// Stuff the remembered node until it splits (tiny chunks overflow after
+	// a couple of insertions into the same span).
+	for d := int64(1); d <= 8; d++ {
+		m.Insert(minK+d, v64(minK+d))
+	}
+	if m.Stats().Splits <= splitsBefore {
+		t.Fatalf("no split occurred (before=%d after=%d)", splitsBefore, m.Stats().Splits)
+	}
+	if seek(m, ctx, 500, fingerPoint) {
+		t.Fatal("probe hit across a split through a stale version")
+	}
+	for d := int64(0); d <= 8; d++ {
+		if _, found := m.lookupCtx(ctx, minK+d); !found {
+			t.Fatalf("key %d lost across the split", minK+d)
+		}
+	}
+	mustCheck(t, m)
+}
+
+func TestFingerInvalidatedByFreeze(t *testing.T) {
+	m := fingerTestMap(t, 2, 400)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	n, _, _ := fingerOn(t, m, ctx, 100)
+	fver, ok := n.lock.TryFreeze(ctx.fing.ver)
+	if !ok {
+		t.Fatal("TryFreeze on a quiescent node failed")
+	}
+	if seek(m, ctx, 100, fingerPoint) {
+		n.lock.Thaw()
+		t.Fatal("probe hit on a frozen node through a stale version")
+	}
+	if ctx.fing.node != nil {
+		n.lock.Thaw()
+		t.Fatal("failed validation did not drop the finger")
+	}
+	// A frozen word must also be refused at record time — the thaw would
+	// invalidate it immediately.
+	m.recordFinger(ctx, n, fver)
+	if ctx.fing.node != nil {
+		n.lock.Thaw()
+		t.Fatal("recordFinger accepted a frozen version")
+	}
+	n.lock.Thaw()
+	if _, found := m.lookupCtx(ctx, 100); !found {
+		t.Fatal("lookup after thaw lost the key")
+	}
+	if !seek(m, ctx, 100, fingerPoint) {
+		t.Fatal("finger did not recover after thaw")
+	}
+}
+
+func TestFingerRecordRefusesLockedWord(t *testing.T) {
+	m := fingerTestMap(t, 2, 400)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	n, _, _ := fingerOn(t, m, ctx, 100)
+	ctx.fing.node = nil // clear so a refused record is observable
+	n.lock.Acquire()
+	locked := n.lock.Current()
+	m.recordFinger(ctx, n, locked)
+	n.lock.Release()
+	if ctx.fing.node != nil {
+		t.Fatal("recordFinger accepted a locked version")
+	}
+}
+
+func TestFingerFollowsOrphans(t *testing.T) {
+	m, _ := buildOrphanChain(t)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	// Find a surviving orphan and a key it still holds.
+	var orphanKey int64
+	found := false
+	for n := m.heads[0]; n != nil; n = n.next.Load() {
+		if n.lock.IsOrphan() {
+			if k, ok := n.data.MinKey(); ok {
+				orphanKey, found = k, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("orphan chain has no non-empty orphan")
+	}
+	// Orphan nodes are recorded — capacity-split orphans are long-lived and
+	// are exactly the hot node of an ascending ingest.
+	if _, ok := m.lookupCtx(ctx, orphanKey); !ok {
+		t.Fatalf("Lookup(%d) lost an orphan-held key", orphanKey)
+	}
+	f := &ctx.fing
+	if f.node == nil || !f.node.lock.IsOrphan() || !f.ver.Orphan() {
+		t.Fatal("lookup into an orphan did not record the orphan finger")
+	}
+	if !seek(m, ctx, orphanKey, fingerPoint) {
+		t.Fatal("probe on a recorded orphan missed")
+	}
+}
+
+func TestFingerSurvivesDrainAndMerge(t *testing.T) {
+	m := fingerTestMap(t, 2, 400)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	_, _, _ = fingerOn(t, m, ctx, 200)
+	// Drain the whole map through map-level contexts: the remembered node is
+	// emptied, merged away, and retired while our stale finger still points
+	// at it. Monotonic lock words across node lifetimes guarantee the next
+	// probe fails validation even if the node was recycled.
+	for k := int64(0); k < 400; k += 2 {
+		if !m.Remove(k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after drain", m.Len())
+	}
+	if seek(m, ctx, 200, fingerPoint) {
+		t.Fatal("probe hit a retired node")
+	}
+	if _, found := m.lookupCtx(ctx, 200); found {
+		t.Fatal("lookup found a drained key")
+	}
+	mustCheck(t, m)
+}
+
+func TestFingerProbeBackoff(t *testing.T) {
+	m := fingerTestMap(t, 2, 800)
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+
+	_, _, _ = fingerOn(t, m, ctx, 100)
+	far := int64(700) // far outside the remembered node's span
+	f := &ctx.fing
+	// The prefill ran through the same pooled context; start from a clean
+	// backoff state.
+	f.penalty, f.backoff = 0, 0
+
+	// Each wasted full probe doubles the skip window.
+	wantPenalty := uint8(0)
+	for round := 0; round < 3; round++ {
+		if _, _, hit := m.fingerSeek(ctx, far, fingerPoint); hit {
+			t.Fatalf("round %d: far key hit", round)
+		}
+		wantPenalty++
+		if f.penalty != wantPenalty || f.backoff != (1<<wantPenalty)-1 {
+			t.Fatalf("round %d: penalty=%d backoff=%d, want penalty=%d backoff=%d",
+				round, f.penalty, f.backoff, wantPenalty, (1<<wantPenalty)-1)
+		}
+		// The window is spent declining without touching the node.
+		for f.backoff > 0 {
+			prev := f.backoff
+			if _, _, hit := m.fingerSeek(ctx, 100, fingerPoint); hit {
+				t.Fatal("probe during backoff window")
+			}
+			if f.backoff != prev-1 {
+				t.Fatalf("backoff did not decrement: %d -> %d", prev, f.backoff)
+			}
+		}
+	}
+	// The cap bounds the window.
+	for round := 0; round < 10; round++ {
+		ctx.fing.backoff = 0
+		m.fingerSeek(ctx, far, fingerPoint)
+	}
+	if f.penalty != maxFingerPenalty {
+		t.Fatalf("penalty=%d, want cap %d", f.penalty, maxFingerPenalty)
+	}
+	// One hit restores full eagerness.
+	if !seek(m, ctx, 100, fingerPoint) {
+		t.Fatal("in-span probe missed after backoff")
+	}
+	if f.penalty != 0 || f.backoff != 0 {
+		t.Fatalf("hit did not reset backoff: penalty=%d backoff=%d", f.penalty, f.backoff)
+	}
+}
+
+func TestFingerDisabled(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	cfg.DisableFinger = true
+	m := newTestMap(t, cfg)
+	h := m.NewHandle()
+	defer h.Close()
+	for k := int64(0); k < 500; k++ {
+		if !h.Insert(k, v64(k)) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+		if _, found := h.Lookup(k); !found {
+			t.Fatalf("Lookup(%d) missed", k)
+		}
+	}
+	st := m.Stats()
+	if st.FingerHits != 0 || st.FingerMisses != 0 {
+		t.Fatalf("disabled finger recorded activity: hits=%d misses=%d", st.FingerHits, st.FingerMisses)
+	}
+	mustCheck(t, m)
+}
+
+func TestFingerHitRateOnAscendingHandle(t *testing.T) {
+	m := newTestMap(t, testConfigs()["default"])
+	h := m.NewHandle()
+	defer h.Close()
+	const n = 4000
+	for k := int64(0); k < n; k++ {
+		h.Insert(k, v64(k))
+	}
+	for k := int64(0); k < n; k++ {
+		if _, found := h.Lookup(k); !found {
+			t.Fatalf("Lookup(%d) missed", k)
+		}
+	}
+	st := m.Stats()
+	total := st.FingerHits + st.FingerMisses
+	if total == 0 {
+		t.Fatal("no finger activity recorded")
+	}
+	if rate := float64(st.FingerHits) / float64(total); rate < 0.5 {
+		t.Fatalf("ascending hit rate %.2f (hits=%d misses=%d); locality lost",
+			rate, st.FingerHits, st.FingerMisses)
+	}
+	mustCheck(t, m)
+}
+
+// TestFingerChaosStress drives handle-pinned, locality-heavy workloads with
+// the chaos injector forcing finger validation failures (chaos.CoreFinger),
+// alongside the usual seqlock/CAS perturbations. Each goroutine owns a
+// disjoint key stripe and checks every result against a private reference,
+// so a finger hit that lands on the wrong node — or a forced miss whose
+// fallback descent misbehaves — is caught at the operation that saw it.
+func TestFingerChaosStress(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	const goroutines = 6
+	sweeps := 12
+	if testing.Short() {
+		sweeps = 4
+	}
+	m := newTestMap(t, cfg)
+	seed := uint64(0xf19e)
+	chaos.Enable(stressChaosConfig(seed))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			base := int64(g) * 10_000 // disjoint stripe per goroutine
+			const span = 300
+			ref := make(map[int64]int64, span)
+			rng := rand.New(rand.NewSource(int64(g) + 77))
+			for s := 0; s < sweeps; s++ {
+				// Ascending sweeps keep the finger hot; the op mix still
+				// exercises insert, remove, lookup, and navigation paths.
+				for i := int64(0); i < span; i++ {
+					k := base + i
+					switch rng.Intn(5) {
+					case 0, 1:
+						v := int64(s)
+						got := h.Insert(k, &v)
+						_, had := ref[k]
+						if got == had {
+							t.Errorf("Insert(%d) = %t, reference had=%t (chaos seed %#x)", k, got, had, seed)
+							return
+						}
+						if got {
+							ref[k] = v
+						}
+					case 2:
+						got := h.Remove(k)
+						if _, had := ref[k]; got != had {
+							t.Errorf("Remove(%d) = %t, reference had=%t (chaos seed %#x)", k, got, had, seed)
+							return
+						}
+						delete(ref, k)
+					case 3:
+						v, got := h.Lookup(k)
+						want, had := ref[k]
+						if got != had || (got && *v != want) {
+							t.Errorf("Lookup(%d) mismatch (chaos seed %#x)", k, seed)
+							return
+						}
+					default:
+						// Ceiling within the stripe: the result must be the
+						// reference's smallest key >= k (stripes are disjoint
+						// and ceilings stay inside the sweep span).
+						ck, _, ok := h.Ceiling(k)
+						wantK, want := int64(0), false
+						for rk := range ref {
+							if rk >= k && (!want || rk < wantK) {
+								wantK, want = rk, true
+							}
+						}
+						if want != (ok && ck < base+10_000) {
+							t.Errorf("Ceiling(%d) presence mismatch (chaos seed %#x)", k, seed)
+							return
+						}
+						if want && ck != wantK {
+							t.Errorf("Ceiling(%d) = %d, want %d (chaos seed %#x)", k, ck, wantK, seed)
+							return
+						}
+					}
+				}
+			}
+			// Final differential sweep over the stripe.
+			for i := int64(0); i < span; i++ {
+				k := base + i
+				v, got := h.Lookup(k)
+				want, had := ref[k]
+				if got != had || (got && *v != want) {
+					t.Errorf("final Lookup(%d) mismatch (chaos seed %#x)", k, seed)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := chaos.Disable()
+	t.Logf("%v", rep)
+	if t.Failed() {
+		return
+	}
+	if rep.Sites[chaos.CoreFinger].Fails == 0 {
+		t.Fatalf("chaos never forced a finger validation failure: %v", rep)
+	}
+	if m.Stats().FingerHits == 0 {
+		t.Fatal("no finger hits under the locality workload")
+	}
+	mustCheck(t, m)
+}
+
+// TestFingerLinearizabilityWithHandles re-runs the chaos linearizability
+// rounds with every process operating through a pinned handle, so finger
+// hits and chaos-forced finger misses are interleaved into the recorded
+// histories. The finger must not change any operation's outcome: every
+// history must still match the sequential map specification.
+func TestFingerLinearizabilityWithHandles(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	rounds := 40
+	if testing.Short() {
+		rounds = 12
+	}
+	const (
+		procs    = 3
+		opsEach  = 4
+		keySpace = 3
+	)
+	seed := uint64(0xf1a9)
+	chaos.Enable(stressChaosConfig(seed))
+	defer chaos.Disable()
+	for round := 0; round < rounds; round++ {
+		m := newTestMap(t, cfg)
+		rec := lincheck.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int, rseed int64) {
+				defer wg.Done()
+				h := m.NewHandle()
+				defer h.Close()
+				rng := rand.New(rand.NewSource(rseed))
+				for i := 0; i < opsEach; i++ {
+					k := int64(rng.Intn(keySpace))
+					switch rng.Intn(3) {
+					case 0:
+						v := int64(p*1000 + i)
+						inv := rec.Begin()
+						ok := h.Insert(k, &v)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindInsert, Key: k, Val: v, RetOK: ok}, inv)
+					case 1:
+						inv := rec.Begin()
+						ok := h.Remove(k)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRemove, Key: k, RetOK: ok}, inv)
+					default:
+						inv := rec.Begin()
+						pv, ok := h.Lookup(k)
+						var rv int64
+						if ok {
+							rv = *pv
+						}
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: ok, RetVal: rv}, inv)
+					}
+				}
+			}(p, int64(round*173+p))
+		}
+		wg.Wait()
+		if ok, msg := lincheck.Check(rec.History()); !ok {
+			t.Fatalf("round %d (chaos seed %#x): %s\n%s", round, seed, msg, m.Dump())
+		}
+		mustCheck(t, m)
+	}
+}

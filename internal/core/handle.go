@@ -1,0 +1,77 @@
+package core
+
+// Handle pins an operation context — and with it the search finger — to one
+// caller. Map methods draw contexts from a shared LIFO pool, which keeps the
+// finger sticky for a single-threaded caller but shuffles contexts (and thus
+// fingers) between goroutines under concurrency. A Handle removes the
+// shuffle: every operation through it reuses the same context, so locality in
+// the caller's key sequence translates directly into finger hits.
+//
+// A Handle is NOT safe for concurrent use — it is a per-goroutine session
+// object (the map itself remains fully concurrent; any number of handles can
+// operate in parallel). Close returns the context to the pool; using a
+// closed handle panics.
+type Handle[V any] struct {
+	m   *Map[V]
+	ctx *opCtx[V]
+}
+
+// NewHandle pins a fresh operation context for a single-goroutine session.
+func (m *Map[V]) NewHandle() *Handle[V] {
+	return &Handle[V]{m: m, ctx: m.ctxs.get()}
+}
+
+// Close returns the pinned context (its hazard-pointer handle and finger
+// included) to the map's pool. Close is idempotent.
+func (h *Handle[V]) Close() {
+	if h.ctx != nil {
+		h.m.ctxs.put(h.ctx)
+		h.ctx = nil
+	}
+}
+
+// Lookup is Map.Lookup through the pinned context.
+func (h *Handle[V]) Lookup(k int64) (*V, bool) {
+	checkKey(k)
+	return h.m.lookupCtx(h.ctx, k)
+}
+
+// Contains is Map.Contains through the pinned context.
+func (h *Handle[V]) Contains(k int64) bool {
+	_, found := h.Lookup(k)
+	return found
+}
+
+// Insert is Map.Insert through the pinned context.
+func (h *Handle[V]) Insert(k int64, v *V) bool {
+	checkKey(k)
+	return h.m.insertCtx(h.ctx, k, v)
+}
+
+// Remove is Map.Remove through the pinned context.
+func (h *Handle[V]) Remove(k int64) bool {
+	checkKey(k)
+	return h.m.removeCtx(h.ctx, k)
+}
+
+// Floor is Map.Floor through the pinned context.
+func (h *Handle[V]) Floor(k int64) (int64, *V, bool) {
+	checkKey(k)
+	return h.m.floorCtx(h.ctx, k)
+}
+
+// Ceiling is Map.Ceiling through the pinned context.
+func (h *Handle[V]) Ceiling(k int64) (int64, *V, bool) {
+	checkKey(k)
+	return h.m.ceilingCtx(h.ctx, k)
+}
+
+// First is Map.First through the pinned context.
+func (h *Handle[V]) First() (int64, *V, bool) {
+	return h.m.firstCtx(h.ctx)
+}
+
+// Last is Map.Last through the pinned context.
+func (h *Handle[V]) Last() (int64, *V, bool) {
+	return h.m.lastCtx(h.ctx)
+}

@@ -41,6 +41,12 @@ func (m *Map[V]) Insert(k int64, v *V) bool {
 	checkKey(k)
 	ctx := m.ctxs.get()
 	defer m.ctxs.put(ctx)
+	return m.insertCtx(ctx, k, v)
+}
+
+// insertCtx is Insert's retry loop against an explicit context (shared with
+// Handle.Insert).
+func (m *Map[V]) insertCtx(ctx *opCtx[V], k int64, v *V) bool {
 	height := ctx.randomHeight()
 	st := insertState[V]{lowestFrozen: -1}
 	for {
@@ -48,8 +54,7 @@ func (m *Map[V]) Insert(k int64, v *V) bool {
 		if done {
 			return result
 		}
-		m.stats.Restarts.Add(1)
-		ctx.dropAll()
+		m.restart(ctx)
 	}
 }
 
@@ -64,6 +69,16 @@ func (m *Map[V]) insertAttempt(
 		ok     bool
 		resume = st.lowestFrozen >= 1
 	)
+	// Height-0 inserts (the (T_D-1)/T_D common case) touch only the data
+	// layer, so when the search finger still covers k the whole index
+	// descent — including the per-layer duplicate check, which the
+	// data-layer Contains below subsumes (an indexed key is always present
+	// in the data layer) — can be skipped.
+	if height == 0 && !resume {
+		if fcurr, fver, hit := m.fingerSeek(ctx, k, fingerPoint); hit {
+			return m.finishInsertData(ctx, st, fcurr, fver, k, v, height)
+		}
+	}
 	if resume {
 		// Resume from the checkpoint: the lowest frozen node is stable, so
 		// its current word is a trivially valid snapshot and no hazard
@@ -128,6 +143,16 @@ func (m *Map[V]) insertAttempt(
 	if !ok {
 		return false, false
 	}
+	return m.finishInsertData(ctx, st, curr, ver, k, v, height)
+}
+
+// finishInsertData is the data-layer tail of an insert attempt: curr owns k
+// under the validated snapshot ver (reached either by the full descent or by
+// a finger hit). It freezes curr, settles presence, and applies the write
+// phase. done=false requests a restart.
+func (m *Map[V]) finishInsertData(
+	ctx *opCtx[V], st *insertState[V], curr *node[V], ver seqlock.Version, k int64, v *V, height int,
+) (result, done bool) {
 	if _, frozen := curr.lock.TryFreeze(ver); !frozen {
 		return false, false
 	}
@@ -142,10 +167,11 @@ func (m *Map[V]) insertAttempt(
 		return false, true
 	}
 
-	m.applyInsert(ctx, st, k, v, height)
+	fnode, fver := m.applyInsert(ctx, st, k, v, height)
 	st.reset()
 	ctx.dropAll()
 	m.length.add(ctx.stripe, 1)
+	m.recordFinger(ctx, fnode, fver)
 	return true, true
 }
 
@@ -153,8 +179,13 @@ func (m *Map[V]) insertAttempt(
 // lines 31-43). Every prevs[layer] for layer ∈ [0,height] is frozen by this
 // operation; nodes are upgraded to write-locked one at a time, bottom-up, so
 // concurrent searches that land on already-updated layers still complete
-// correctly (Section IV-C).
-func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, height int) {
+// correctly (Section IV-C). It returns the data node that received k together
+// with a version snapshot suitable for recordFinger (which rejects unusable
+// words, so a best-effort Current() read is fine for nodes this operation no
+// longer holds locked).
+func (m *Map[V]) applyInsert(
+	ctx *opCtx[V], st *insertState[V], k int64, v *V, height int,
+) (*node[V], seqlock.Version) {
 	// Layer 0.
 	d := st.prevs[0]
 	d.lock.UpgradeFrozen()
@@ -166,8 +197,13 @@ func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, h
 		if !target.data.Insert(k, v) {
 			panic("core: insert into data chunk failed after absence check")
 		}
-		d.lock.Release()
-		return
+		dver := d.lock.Release()
+		if target == d {
+			return d, dver
+		}
+		// k went into the split orphan, which became reachable (and thus
+		// shared) at the release above; snapshot whatever word it has now.
+		return target, target.lock.Current()
 	}
 
 	// height ≥ 1: the key becomes the minimum of a new node in every layer
@@ -212,6 +248,9 @@ func (m *Map[V]) applyInsert(ctx *opCtx[V], st *insertState[V], k int64, v *V, h
 		panic("core: insert into index chunk failed after absence check")
 	}
 	p.lock.Release()
+	// nd (k's data node) became shared when d released above; snapshot its
+	// current word for the finger.
+	return nd, nd.lock.Current()
 }
 
 // splitFull splits the write-locked full node n, moving its upper half into

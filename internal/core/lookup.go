@@ -7,13 +7,7 @@ func (m *Map[V]) Lookup(k int64) (*V, bool) {
 	checkKey(k)
 	ctx := m.ctxs.get()
 	defer m.ctxs.put(ctx)
-	for {
-		if v, found, ok := m.lookupOnce(ctx, k); ok {
-			return v, found
-		}
-		m.stats.Restarts.Add(1)
-		ctx.dropAll()
-	}
+	return m.lookupCtx(ctx, k)
 }
 
 // Contains reports whether k is present.
@@ -22,11 +16,27 @@ func (m *Map[V]) Contains(k int64) bool {
 	return found
 }
 
-// lookupOnce is one optimistic attempt; ok=false requests a restart.
+// lookupCtx is Lookup's retry loop against an explicit context (shared with
+// Handle.Lookup).
+func (m *Map[V]) lookupCtx(ctx *opCtx[V], k int64) (*V, bool) {
+	for {
+		if v, found, ok := m.lookupOnce(ctx, k); ok {
+			return v, found
+		}
+		m.restart(ctx)
+	}
+}
+
+// lookupOnce is one optimistic attempt; ok=false requests a restart. The
+// search finger short-circuits the descent when k falls inside the data node
+// the context's previous operation finished on.
 func (m *Map[V]) lookupOnce(ctx *opCtx[V], k int64) (v *V, found, ok bool) {
-	curr, ver, ok := m.descendToData(ctx, k, modeRead)
-	if !ok {
-		return nil, false, false
+	curr, ver, hit := m.fingerSeek(ctx, k, fingerPoint)
+	if !hit {
+		curr, ver, ok = m.descendToData(ctx, k, modeRead)
+		if !ok {
+			return nil, false, false
+		}
 	}
 	v, found = curr.data.Get(k)
 	// Linearization point: if the data node is unchanged, the speculative
@@ -34,6 +44,7 @@ func (m *Map[V]) lookupOnce(ctx *opCtx[V], k int64) (v *V, found, ok bool) {
 	if !curr.lock.Validate(ver) {
 		return nil, false, false
 	}
+	m.recordFinger(ctx, curr, ver)
 	ctx.dropAll()
 	return v, found, true
 }

@@ -81,6 +81,12 @@ type Config struct {
 	// Seed seeds the per-operation height RNG streams. A zero seed is
 	// replaced with a fixed constant so behaviour is reproducible.
 	Seed uint64
+	// DisableFinger turns off the per-context search finger (the locality
+	// cache that lets an operation skip the top-down descent when its key
+	// falls inside the data node the previous operation finished on). The
+	// zero value keeps the finger enabled; disabling exists for ablation
+	// benchmarks and as an escape hatch.
+	DisableFinger bool
 }
 
 // DefaultConfig returns the paper's general-purpose tuning (Section V-A):
@@ -148,6 +154,13 @@ type Map[V any] struct {
 	ctxs   *ctxPool[V]
 	length lengthCounter
 	stats  Stats
+
+	// Finger hit/miss counters are striped like the length counter: they
+	// are touched once per operation, and a single shared cache line would
+	// become a contention point at exactly the thread counts the finger is
+	// meant to help.
+	fingerHits   lengthCounter
+	fingerMisses lengthCounter
 }
 
 // Key sentinels: user keys must satisfy MinKey < k < MaxKey.

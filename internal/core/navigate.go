@@ -6,6 +6,11 @@ package core
 // traversal machinery as Lookup: every answer is validated against the
 // owning node's sequence lock before being returned, so each query is
 // linearizable at its final validation.
+//
+// Both queries participate in the search finger: they resume from the
+// remembered data node when it still owns k, and they remember the node
+// their answer came from, which turns an ascending sequence of Ceiling
+// calls (the Cursor pattern) into a hand-over-hand walk with no descents.
 
 // Floor returns the largest key ≤ k and its value, or ok=false when no such
 // key exists.
@@ -13,24 +18,33 @@ func (m *Map[V]) Floor(k int64) (int64, *V, bool) {
 	checkKey(k)
 	ctx := m.ctxs.get()
 	defer m.ctxs.put(ctx)
+	return m.floorCtx(ctx, k)
+}
+
+// floorCtx is Floor's retry loop against an explicit context (shared with
+// Handle.Floor).
+func (m *Map[V]) floorCtx(ctx *opCtx[V], k int64) (int64, *V, bool) {
 	for {
 		if key, v, found, ok := m.floorOnce(ctx, k); ok {
 			return key, v, found
 		}
-		m.stats.Restarts.Add(1)
-		ctx.dropAll()
+		m.restart(ctx)
 	}
 }
 
 func (m *Map[V]) floorOnce(ctx *opCtx[V], k int64) (key int64, v *V, found, ok bool) {
-	curr, ver, ok := m.descendToData(ctx, k, modeRead)
-	if !ok {
-		return 0, nil, false, false
+	curr, ver, hit := m.fingerSeek(ctx, k, fingerPoint)
+	if !hit {
+		curr, ver, ok = m.descendToData(ctx, k, modeRead)
+		if !ok {
+			return 0, nil, false, false
+		}
 	}
 	fk, fv, has := curr.data.FindLE(k)
 	if !curr.lock.Validate(ver) {
 		return 0, nil, false, false
 	}
+	m.recordFinger(ctx, curr, ver)
 	ctx.dropAll()
 	if !has || fk == MinKey {
 		// Only the head sentinel is ≤ k: no user key qualifies. (The
@@ -47,19 +61,30 @@ func (m *Map[V]) Ceiling(k int64) (int64, *V, bool) {
 	checkKey(k)
 	ctx := m.ctxs.get()
 	defer m.ctxs.put(ctx)
+	return m.ceilingCtx(ctx, k)
+}
+
+// ceilingCtx is Ceiling's retry loop against an explicit context (shared
+// with Handle.Ceiling and the public Cursor).
+func (m *Map[V]) ceilingCtx(ctx *opCtx[V], k int64) (int64, *V, bool) {
 	for {
 		if key, v, found, ok := m.ceilingOnce(ctx, k); ok {
 			return key, v, found
 		}
-		m.stats.Restarts.Add(1)
-		ctx.dropAll()
+		m.restart(ctx)
 	}
 }
 
 func (m *Map[V]) ceilingOnce(ctx *opCtx[V], k int64) (key int64, v *V, found, ok bool) {
-	curr, ver, ok := m.descendToData(ctx, k, modeRead)
-	if !ok {
-		return 0, nil, false, false
+	// fingerScan also accepts k == succ.min — the walk below crosses to the
+	// successor in one validated step, which is how a cursor iterating in
+	// ascending order hops chunk boundaries without a descent.
+	curr, ver, hit := m.fingerSeek(ctx, k, fingerScan)
+	if !hit {
+		curr, ver, ok = m.descendToData(ctx, k, modeRead)
+		if !ok {
+			return 0, nil, false, false
+		}
 	}
 	// Walk right until a node yields a key ≥ k. The first candidate node is
 	// the one owning k; successors are reached hand-over-hand with the same
@@ -70,10 +95,14 @@ func (m *Map[V]) ceilingOnce(ctx *opCtx[V], k int64) (key int64, v *V, found, ok
 			if !curr.lock.Validate(ver) {
 				return 0, nil, false, false
 			}
-			ctx.dropAll()
 			if ck == MaxKey {
+				ctx.dropAll()
 				return 0, nil, false, true // only the tail sentinel remains
 			}
+			// Remember the node the answer came from (never the tail, which
+			// owns no user keys and could never produce a hit).
+			m.recordFinger(ctx, curr, ver)
+			ctx.dropAll()
 			return ck, cv, true, true
 		}
 		next := curr.next.Load()
@@ -101,4 +130,13 @@ func (m *Map[V]) First() (int64, *V, bool) {
 // Last returns the largest key in the map.
 func (m *Map[V]) Last() (int64, *V, bool) {
 	return m.Floor(MaxKey - 1)
+}
+
+// firstCtx/lastCtx are the Handle-bound variants.
+func (m *Map[V]) firstCtx(ctx *opCtx[V]) (int64, *V, bool) {
+	return m.ceilingCtx(ctx, MinKey+1)
+}
+
+func (m *Map[V]) lastCtx(ctx *opCtx[V]) (int64, *V, bool) {
+	return m.floorCtx(ctx, MaxKey-1)
 }

@@ -168,24 +168,31 @@ type Stats struct {
 	Merges   atomic.Int64 // orphan merges (including empty-orphan unlinks)
 }
 
-// StatsSnapshot is a plain-value copy of Stats.
+// StatsSnapshot is a plain-value copy of Stats, extended with the memory
+// counters and the search-finger hit/miss totals (which live on the map as
+// striped counters, not in Stats, because they are bumped once per
+// operation).
 type StatsSnapshot struct {
-	Restarts int64
-	Splits   int64
-	Merges   int64
-	Allocs   int64
-	Reuses   int64
-	Retired  int64 // nodes retired but not yet recycled (bounded garbage)
+	Restarts     int64
+	Splits       int64
+	Merges       int64
+	Allocs       int64
+	Reuses       int64
+	Retired      int64 // nodes retired but not yet recycled (bounded garbage)
+	FingerHits   int64 // operations that resumed from the search finger
+	FingerMisses int64 // finger attempts that fell back to the full descent
 }
 
 // Stats returns a snapshot of the map's internal counters.
 func (m *Map[V]) Stats() StatsSnapshot {
 	s := StatsSnapshot{
-		Restarts: m.stats.Restarts.Load(),
-		Splits:   m.stats.Splits.Load(),
-		Merges:   m.stats.Merges.Load(),
-		Allocs:   m.mem.allocs.Load(),
-		Reuses:   m.mem.reuses.Load(),
+		Restarts:     m.stats.Restarts.Load(),
+		Splits:       m.stats.Splits.Load(),
+		Merges:       m.stats.Merges.Load(),
+		Allocs:       m.mem.allocs.Load(),
+		Reuses:       m.mem.reuses.Load(),
+		FingerHits:   m.fingerHits.load(),
+		FingerMisses: m.fingerMisses.load(),
 	}
 	if m.mem.domain != nil {
 		s.Retired = m.mem.domain.RetiredCount()

@@ -1,5 +1,7 @@
 package core
 
+import "skipvector/internal/seqlock"
+
 // Range operations (Section V-B, Figure 8). Because the skip vector is
 // lock-based, serializable range operations fall out of two-phase locking:
 // the operation locks every data node spanning [lo,hi], applies its
@@ -59,15 +61,17 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 
 	var locked []*node[V]
 	for {
-		curr, ver, ok := m.descendToData(ctx, lo, modeRead)
-		if !ok {
-			m.stats.Restarts.Add(1)
-			ctx.dropAll()
-			continue
+		curr, ver, hit := m.fingerSeek(ctx, lo, fingerPoint)
+		if !hit {
+			var ok bool
+			curr, ver, ok = m.descendToData(ctx, lo, modeRead)
+			if !ok {
+				m.restart(ctx)
+				continue
+			}
 		}
 		if !curr.lock.TryUpgrade(ver) {
-			m.stats.Restarts.Add(1)
-			ctx.dropAll()
+			m.restart(ctx)
 			continue
 		}
 		// From here on locks, not hazard pointers, protect the traversal:
@@ -120,12 +124,23 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 	}
 
 	// Shrink phase: release everything. Mutating ranges bump sequence
-	// numbers; read-only ranges restore the pre-lock words.
+	// numbers; read-only ranges restore the pre-lock words. The last window
+	// node still covering hi becomes the search finger, so a follow-up
+	// operation near the range's right edge (the next slice of a segmented
+	// scan, say) resumes without a descent.
+	var fnode *node[V]
+	var fver seqlock.Version
 	for _, n := range locked {
+		minK, hasMin := n.minKey() // read under the lock, before release
+		var ver seqlock.Version
 		if mutate {
-			n.lock.Release()
+			ver = n.lock.Release()
 		} else {
-			n.lock.Abort()
+			ver = n.lock.Abort()
+		}
+		if hasMin && minK <= hi {
+			fnode, fver = n, ver
 		}
 	}
+	m.recordFinger(ctx, fnode, fver)
 }

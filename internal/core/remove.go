@@ -13,18 +13,31 @@ func (m *Map[V]) Remove(k int64) bool {
 	checkKey(k)
 	ctx := m.ctxs.get()
 	defer m.ctxs.put(ctx)
+	return m.removeCtx(ctx, k)
+}
+
+// removeCtx is Remove's retry loop against an explicit context (shared with
+// Handle.Remove).
+func (m *Map[V]) removeCtx(ctx *opCtx[V], k int64) bool {
 	for {
 		if result, done := m.removeAttempt(ctx, k); done {
 			return result
 		}
-		m.stats.Restarts.Add(1)
-		ctx.dropAll()
+		m.restart(ctx)
 	}
 }
 
 // removeAttempt performs one optimistic attempt; done=false requests a
 // restart.
 func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
+	// An indexed key is always the minimum of its data node, and fingerRemove
+	// accepts only keys strictly above the remembered node's minimum, so a
+	// finger hit proves k has no index tower: the whole descent — including
+	// the per-layer search for an index entry equal to k — can be skipped.
+	if fcurr, fver, hit := m.fingerSeek(ctx, k, fingerRemove); hit {
+		return m.removeFromDataLayer(ctx, fcurr, fver, k)
+	}
+
 	curr := m.head
 	ctx.take(curr)
 	ver, ok := curr.lock.ReadVersion()
@@ -102,9 +115,10 @@ func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
 	if _, found := curr.data.Remove(k); !found {
 		panic("core: data entry for indexed key missing under write lock")
 	}
-	curr.lock.Release()
+	fver := curr.lock.Release()
 	ctx.dropAll()
 	m.length.add(ctx.stripe, -1)
+	m.recordFinger(ctx, curr, fver)
 	return true, true
 }
 
@@ -127,10 +141,13 @@ func (m *Map[V]) removeFromDataLayer(
 	}
 	_, removed := curr.data.Remove(k)
 	if removed {
-		curr.lock.Release()
+		fver := curr.lock.Release()
 		m.length.add(ctx.stripe, -1)
+		m.recordFinger(ctx, curr, fver)
 	} else {
-		curr.lock.Abort()
+		// Abort restores the pre-acquisition word, which is a valid snapshot
+		// of the (unmodified) node — remember it for the next operation.
+		m.recordFinger(ctx, curr, curr.lock.Abort())
 	}
 	ctx.dropAll()
 	return removed, true

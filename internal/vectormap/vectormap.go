@@ -141,6 +141,32 @@ func (c *Chunk[P]) MaxKey() (int64, bool) {
 	return maxK, true
 }
 
+// Bounds returns the smallest and largest keys in a single pass, or ok=false
+// when the chunk is empty. It is the cheaper equivalent of calling MinKey and
+// MaxKey back to back, used by hot paths that need both ends of the chunk's
+// key span (the search-finger ownership check).
+func (c *Chunk[P]) Bounds() (minK, maxK int64, ok bool) {
+	s := c.snapshotSize()
+	if s == 0 {
+		return 0, 0, false
+	}
+	if c.sorted {
+		return c.keys[0].Load(), c.keys[s-1].Load(), true
+	}
+	minK = c.keys[0].Load()
+	maxK = minK
+	for i := 1; i < s; i++ {
+		k := c.keys[i].Load()
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	return minK, maxK, true
+}
+
 // indexOf returns the position of key k, or -1.
 func (c *Chunk[P]) indexOf(k int64) int {
 	s := c.snapshotSize()

@@ -1,0 +1,56 @@
+package workload
+
+// SeqWindow emits runs of consecutive ascending keys: it jumps to a
+// pseudo-random start, walks upward one key at a time for window steps
+// (wrapping at the end of the key space), then jumps again. This is the
+// locality extreme among the generators — the access pattern of a log
+// replayer, a time-series appender, or a paginated scan — and is the
+// workload where a search finger should convert almost every operation into
+// an O(1) data-layer step. window=1 degenerates to Uniform; window=n is one
+// endless sequential sweep.
+//
+// Like the other generators it is seeded through its RNG and keeps no global
+// state; derive one per goroutine.
+type SeqWindow struct {
+	rng    *RNG
+	n      int64
+	window int64
+	pos    int64
+	left   int64 // keys remaining in the current run
+}
+
+// NewSeqWindow builds a sequential-window generator over [0,n) with runs of
+// the given window length.
+func NewSeqWindow(rng *RNG, n, window int64) *SeqWindow {
+	if n <= 0 {
+		panic("workload: SeqWindow with non-positive range")
+	}
+	if window <= 0 {
+		panic("workload: SeqWindow with non-positive window")
+	}
+	if window > n {
+		window = n
+	}
+	return &SeqWindow{rng: rng, n: n, window: window}
+}
+
+// Next implements KeyGen.
+func (s *SeqWindow) Next() int64 {
+	if s.left == 0 {
+		s.pos = s.rng.Intn(s.n)
+		s.left = s.window
+	}
+	k := s.pos
+	s.pos++
+	if s.pos >= s.n {
+		s.pos = 0
+	}
+	s.left--
+	return k
+}
+
+// Range implements KeyGen.
+func (s *SeqWindow) Range() int64 { return s.n }
+
+// Window returns the run length.
+func (s *SeqWindow) Window() int64 { return s.window }

@@ -98,6 +98,17 @@ func WithSeed(seed uint64) Option {
 	return func(c *core.Config) { c.Seed = seed }
 }
 
+// WithSearchFinger enables (true, default) or disables the search finger: a
+// per-session cache of the data chunk the previous operation finished on.
+// When consecutive operations touch nearby keys — cursors, ascending loads,
+// Zipfian traffic — the finger resolves them in O(1) at the data layer,
+// skipping the index descent entirely; validation against the chunk's
+// sequence lock falls back to the full descent whenever the chunk changed.
+// Disabling exists for ablation benchmarks and as an escape hatch.
+func WithSearchFinger(enabled bool) Option {
+	return func(c *core.Config) { c.DisableFinger = !enabled }
+}
+
 // Map is a concurrent ordered map from int64 keys to values of type V.
 // The zero value is not usable; construct with New.
 type Map[V any] struct {
@@ -249,10 +260,16 @@ func (m *Map[V]) Keys() []int64 { return m.m.Keys() }
 
 // Cursor returns a stateful forward iterator positioned before the first
 // key ≥ start. Unlike Ascend/RangeQuery — which hold node locks for the
-// duration of the scan — a cursor holds nothing between Next calls: each
+// duration of the scan — a cursor holds no locks between Next calls: each
 // step is an independent linearizable successor query (Ceiling), so it can
 // be long-lived and interleaved with arbitrary mutations. Keys inserted
 // behind the cursor are not revisited; keys inserted ahead are seen.
+//
+// The cursor pins a map session on first use, so its search finger tracks
+// the scan: after the first Next, each step resumes at the data chunk the
+// previous step finished on and walks at most one chunk right — no index
+// descent. The session is released automatically when the scan is exhausted;
+// call Close when abandoning a cursor mid-scan.
 func (m *Map[V]) Cursor(start int64) *Cursor[V] {
 	return &Cursor[V]{m: m, next: start}
 }
@@ -261,6 +278,7 @@ func (m *Map[V]) Cursor(start int64) *Cursor[V] {
 // multiple goroutines (the underlying map remains fully concurrent).
 type Cursor[V any] struct {
 	m    *Map[V]
+	h    *core.Handle[V]
 	next int64
 	done bool
 }
@@ -272,14 +290,17 @@ func (c *Cursor[V]) Next() (int64, V, bool) {
 		var zero V
 		return 0, zero, false
 	}
-	k, v, ok := c.m.Ceiling(c.next)
+	if c.h == nil {
+		c.h = c.m.m.NewHandle()
+	}
+	k, v, ok := unwrap[V](c.h.Ceiling(c.next))
 	if !ok {
-		c.done = true
+		c.Close()
 		var zero V
 		return 0, zero, false
 	}
 	if k == MaxKey-1 {
-		c.done = true // cannot advance past the largest legal key
+		c.Close() // cannot advance past the largest legal key
 	} else {
 		c.next = k + 1
 	}
@@ -292,8 +313,67 @@ func (c *Cursor[V]) SeekTo(start int64) {
 	c.done = false
 }
 
+// Close releases the cursor's pinned session. It is called automatically
+// when the scan is exhausted and is idempotent; only a cursor abandoned
+// mid-scan needs an explicit Close. A closed cursor can be revived with
+// SeekTo followed by Next.
+func (c *Cursor[V]) Close() {
+	if c.h != nil {
+		c.h.Close()
+		c.h = nil
+	}
+	c.done = true
+}
+
+// NewHandle pins a per-goroutine session on the map. Map methods already
+// benefit from the search finger when a single goroutine is active, but
+// under concurrency the pooled per-operation contexts — and the fingers they
+// carry — shuffle between goroutines. A Handle fixes one context to the
+// caller, so locality in its key sequence reliably becomes finger hits
+// (ascending loads, per-shard workers, time-series appenders).
+//
+// A Handle is not safe for concurrent use; create one per goroutine. Close
+// it when the session ends to return its resources to the map.
+func (m *Map[V]) NewHandle() *Handle[V] {
+	return &Handle[V]{h: m.m.NewHandle()}
+}
+
+// Handle is a single-goroutine session over a Map with a pinned search
+// finger. See Map.NewHandle.
+type Handle[V any] struct {
+	h *core.Handle[V]
+}
+
+// Close returns the session's resources to the map. Idempotent; the handle
+// must not be used afterwards.
+func (h *Handle[V]) Close() { h.h.Close() }
+
+// Insert is Map.Insert through the pinned session.
+func (h *Handle[V]) Insert(k int64, v V) bool { return h.h.Insert(k, &v) }
+
+// Lookup is Map.Lookup through the pinned session.
+func (h *Handle[V]) Lookup(k int64) (V, bool) {
+	if p, ok := h.h.Lookup(k); ok {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains is Map.Contains through the pinned session.
+func (h *Handle[V]) Contains(k int64) bool { return h.h.Contains(k) }
+
+// Remove is Map.Remove through the pinned session.
+func (h *Handle[V]) Remove(k int64) bool { return h.h.Remove(k) }
+
+// Floor is Map.Floor through the pinned session.
+func (h *Handle[V]) Floor(k int64) (int64, V, bool) { return unwrap[V](h.h.Floor(k)) }
+
+// Ceiling is Map.Ceiling through the pinned session.
+func (h *Handle[V]) Ceiling(k int64) (int64, V, bool) { return unwrap[V](h.h.Ceiling(k)) }
+
 // Stats reports internal event counters (restarts, splits, merges, node
-// allocation and reuse, outstanding retired nodes).
+// allocation and reuse, outstanding retired nodes, finger hits and misses).
 func (m *Map[V]) Stats() core.StatsSnapshot { return m.m.Stats() }
 
 // CheckInvariants validates the whole structure. Quiescent use only.
