@@ -346,6 +346,55 @@ func BenchmarkFingerLocality(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOnOff measures the cost of the telemetry gate on the
+// hot paths: the same workloads with hot-path metric recording enabled and
+// disabled. Disabled is the shipping default, so the interesting number is
+// the "off" column against the pre-telemetry baseline (EXPERIMENTS.md §9
+// records both gaps; the disabled gap is required to stay under 3%). Uniform
+// lookups are the sensitive case — every operation pays the descent-depth
+// gate — and the insert/remove mix adds the freeze-counter gate.
+func BenchmarkTelemetryOnOff(b *testing.B) {
+	const keyRange = 1 << 18
+	prev := TelemetryEnabled()
+	defer SetTelemetry(prev)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run("UniformLookup/"+mode.name, func(b *testing.B) {
+			SetTelemetry(false) // build phase identical for both modes
+			m := New[uint64]()
+			for k := int64(0); k < keyRange; k += 2 {
+				m.Insert(k, uint64(k))
+			}
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(1)
+			SetTelemetry(mode.on)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Lookup(rng.Intn(keyRange))
+			}
+		})
+		b.Run("InsertRemove/"+mode.name, func(b *testing.B) {
+			SetTelemetry(mode.on)
+			m := New[uint64]()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := workload.NewRNG(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Intn(keyRange)
+				if i%2 == 0 {
+					h.Insert(k, uint64(k))
+				} else {
+					h.Remove(k)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBulkLoad compares O(n) bulk loading against incremental inserts
 // for index construction (the database-index build path).
 func BenchmarkBulkLoad(b *testing.B) {

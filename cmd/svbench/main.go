@@ -18,10 +18,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"skipvector/internal/bench"
+	"skipvector/internal/telemetry"
 	"skipvector/internal/workload"
 )
 
@@ -41,9 +44,47 @@ func run(args []string) error {
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.String("json", "", "also write the emitted tables to this file as JSON")
+		metrics  = fs.String("metrics", "", "serve Prometheus metrics on this address (e.g. :8090) while figures run; implies telemetry recording")
+		metOut   = fs.String("metrics-out", "", "write a Prometheus snapshot to this file after the run; implies telemetry recording")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The structures under test are created per trial inside the figure
+	// runners, so the stable scrape target is the process-global registry:
+	// the seqlock spin/CAS and vectormap shift-distance instruments, which
+	// accumulate across every trial in the run. Per-map catalogs (restarts,
+	// occupancy, hazard counters) are reachable programmatically through
+	// bench.Metricser.
+	if *metrics != "" || *metOut != "" {
+		telemetry.SetEnabled(true)
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = telemetry.Global.WritePrometheus(w)
+		})
+		fmt.Fprintf(os.Stderr, "[serving metrics on http://%s/metrics]\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+	if *metOut != "" {
+		defer func() {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "svbench: metrics-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := telemetry.Global.WritePrometheus(f); err != nil {
+				fmt.Fprintln(os.Stderr, "svbench: metrics-out:", err)
+			}
+		}()
 	}
 
 	var s bench.Scale

@@ -8,6 +8,7 @@ import (
 	"skipvector/internal/blink"
 	"skipvector/internal/core"
 	"skipvector/internal/skiplist"
+	"skipvector/internal/telemetry"
 )
 
 // IntMap is the uniform adapter interface the harness drives: an ordered map
@@ -87,6 +88,19 @@ func (s *svMap) RangeUpdate(lo, hi int64, fn func(k int64, v uint64) uint64) int
 
 // Stats exposes the underlying skip vector counters (for ablation output).
 func (s *svMap) Stats() core.StatsSnapshot { return s.m.Stats() }
+
+// Metricser is implemented by adapters whose structure exposes a telemetry
+// view; svbench uses it to serve and snapshot Prometheus metrics for the
+// structure under test.
+type Metricser interface {
+	Metrics() *telemetry.View
+}
+
+var _ Metricser = (*svMap)(nil)
+
+// Metrics exposes the skip vector's metric catalog (per-map registry plus the
+// process-global seqlock/vectormap instruments).
+func (s *svMap) Metrics() *telemetry.View { return s.m.Metrics() }
 
 var _ Sessioner = (*svMap)(nil)
 

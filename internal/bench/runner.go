@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,45 +130,54 @@ func RunTrial(m IntMap, cfg TrialConfig) (TrialResult, error) {
 		done.Add(1)
 		go func(id int, rng *workload.RNG, keys workload.KeyGen) {
 			defer done.Done()
-			// Workers operate through a pinned session when the structure
-			// offers one, so per-handle state (the search finger) sticks to
-			// this goroutine instead of shuffling through the shared pool.
-			view := m
-			if sp, ok := m.(Sessioner); ok {
-				sess := sp.NewSession()
-				defer sess.Close()
-				view = sess
-			}
-			start.Wait()
-			var local int64
-			rm, _ := m.(RangeMap)
-			for !stop.Load() {
-				// Batch 64 operations between stop checks to keep the
-				// control overhead off the measured path.
-				for i := 0; i < 64; i++ {
-					k := keys.Next()
-					switch cfg.Mix.Next(rng) {
-					case workload.OpLookup:
-						view.Lookup(k)
-					case workload.OpInsert:
-						view.Insert(k, uint64(k))
-					case workload.OpRemove:
-						view.Remove(k)
-					case workload.OpRange:
-						lo := k
-						hi := lo + cfg.RangeSpan - 1
-						if rm != nil {
-							rm.RangeUpdate(lo, hi, func(_ int64, v uint64) uint64 {
-								return v + 1
-							})
-						} else {
-							view.Lookup(k)
-						}
-					}
-					local++
+			// Label the worker for CPU profiles: `go tool pprof -tagfocus`
+			// can then separate worker time by goroutine and key
+			// distribution when svbench runs under -cpuprofile.
+			labels := pprof.Labels(
+				"sv_worker", strconv.Itoa(id),
+				"sv_keys", keyGenLabel(cfg),
+			)
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				// Workers operate through a pinned session when the structure
+				// offers one, so per-handle state (the search finger) sticks to
+				// this goroutine instead of shuffling through the shared pool.
+				view := m
+				if sp, ok := m.(Sessioner); ok {
+					sess := sp.NewSession()
+					defer sess.Close()
+					view = sess
 				}
-			}
-			counts[id] = local
+				start.Wait()
+				var local int64
+				rm, _ := m.(RangeMap)
+				for !stop.Load() {
+					// Batch 64 operations between stop checks to keep the
+					// control overhead off the measured path.
+					for i := 0; i < 64; i++ {
+						k := keys.Next()
+						switch cfg.Mix.Next(rng) {
+						case workload.OpLookup:
+							view.Lookup(k)
+						case workload.OpInsert:
+							view.Insert(k, uint64(k))
+						case workload.OpRemove:
+							view.Remove(k)
+						case workload.OpRange:
+							lo := k
+							hi := lo + cfg.RangeSpan - 1
+							if rm != nil {
+								rm.RangeUpdate(lo, hi, func(_ int64, v uint64) uint64 {
+									return v + 1
+								})
+							} else {
+								view.Lookup(k)
+							}
+						}
+						local++
+					}
+				}
+				counts[id] = local
+			})
 		}(t, rng, keys)
 	}
 
@@ -186,6 +198,18 @@ func RunTrial(m IntMap, cfg TrialConfig) (TrialResult, error) {
 		Elapsed:    elapsed,
 		Throughput: float64(total) / elapsed.Seconds(),
 	}, nil
+}
+
+// keyGenLabel names the trial's key distribution for profile labels.
+func keyGenLabel(cfg TrialConfig) string {
+	switch {
+	case cfg.Zipf > 0:
+		return fmt.Sprintf("zipf%.1f", cfg.Zipf)
+	case cfg.SeqWindow > 0:
+		return fmt.Sprintf("seq%d", cfg.SeqWindow)
+	default:
+		return "uniform"
+	}
 }
 
 // RunAveraged runs the trial reps times on fresh structures and returns the

@@ -103,12 +103,31 @@ func (c *opCtx[V]) dropAll() {
 	}
 }
 
+// opKind classifies the operation whose attempt is restarting, so restart
+// totals can be broken down by the path that paid them.
+type opKind int
+
+const (
+	opLookup opKind = iota
+	opInsert
+	opRemove
+	opNav   // Floor/Ceiling (and First/Last through them)
+	opRange // RangeQuery/RangeUpdate window establishment
+	numOpKinds
+)
+
 // restart accounts one failed optimistic attempt and resets the context so
 // the operation can retry from the top. Every retry loop in the package goes
 // through here, so stats.Restarts is a complete count of torn reads, failed
 // validations, lost CAS races, and chaos-forced failures alike.
-func (m *Map[V]) restart(ctx *opCtx[V]) {
+//
+// The total is bumped before the per-kind counter; Stats loads the kinds
+// before the total. Under that pairing every per-kind increment a snapshot
+// observes has its total increment already visible, so the snapshot always
+// satisfies sum(per-kind) ≤ Restarts, with equality at quiescence.
+func (m *Map[V]) restart(ctx *opCtx[V], op opKind) {
 	m.stats.Restarts.Add(1)
+	m.restartsByOp[op].Add(1)
 	ctx.dropAll()
 }
 

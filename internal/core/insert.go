@@ -54,7 +54,7 @@ func (m *Map[V]) insertCtx(ctx *opCtx[V], k int64, v *V) bool {
 		if done {
 			return result
 		}
-		m.restart(ctx)
+		m.restart(ctx, opInsert)
 	}
 }
 
@@ -111,6 +111,7 @@ func (m *Map[V]) insertAttempt(
 				st.prevs[curr.level] = curr
 				st.lowestFrozen = int(curr.level)
 				ver = fver
+				m.freezes.Inc(ctx.stripe)
 				chaos.Step(chaos.CoreFreeze)
 			}
 		}
@@ -159,6 +160,7 @@ func (m *Map[V]) finishInsertData(
 	ctx.drop(curr)
 	st.prevs[0] = curr
 	st.lowestFrozen = 0
+	m.freezes.Inc(ctx.stripe)
 	chaos.Step(chaos.CoreFreeze)
 
 	if curr.data.Contains(k) {
@@ -271,6 +273,7 @@ func (m *Map[V]) splitFull(ctx *opCtx[V], n *node[V], k int64) *node[V] {
 	chaos.Step(chaos.CoreSplit)
 	n.next.Store(o)
 	m.stats.Splits.Add(1)
+	m.stats.Orphans.Add(1)
 	if k >= pivot {
 		return o
 	}

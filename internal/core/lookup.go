@@ -23,7 +23,7 @@ func (m *Map[V]) lookupCtx(ctx *opCtx[V], k int64) (*V, bool) {
 		if v, found, ok := m.lookupOnce(ctx, k); ok {
 			return v, found
 		}
-		m.restart(ctx)
+		m.restart(ctx, opLookup)
 	}
 }
 

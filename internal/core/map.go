@@ -25,7 +25,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"skipvector/internal/telemetry"
 	"skipvector/internal/vectormap"
 )
 
@@ -161,6 +163,20 @@ type Map[V any] struct {
 	// meant to help.
 	fingerHits   lengthCounter
 	fingerMisses lengthCounter
+
+	// restartsByOp breaks stats.Restarts down by the operation kind that
+	// paid the restart. Always-on like Restarts itself: restarts are a cold
+	// path, and the invariant suite wants the identity
+	// Restarts == Σ restartsByOp to hold without telemetry enabled.
+	restartsByOp [numOpKinds]atomic.Int64
+
+	// reg is this map's metric registry (always built; recording into the
+	// gated instruments is off unless telemetry is enabled). descentDepth
+	// and freezes are the two instruments hot enough to need gating — one
+	// potential observation per operation.
+	reg          *telemetry.Registry
+	descentDepth *telemetry.Histogram
+	freezes      *telemetry.Counter
 }
 
 // Key sentinels: user keys must satisfy MinKey < k < MaxKey.
@@ -201,6 +217,7 @@ func NewMap[V any](cfg Config) (*Map[V], error) {
 		below = head
 	}
 	m.head = m.heads[cfg.LayerCount-1]
+	m.initMetrics()
 	return m, nil
 }
 

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"io"
+
+	"skipvector/internal/telemetry"
+)
+
+// initMetrics builds the map's metric registry. Most entries are func-backed
+// collectors over counters the map already maintains (always-on atomics,
+// striped counters, hazard-domain totals), evaluated only at exposition time;
+// the registry therefore adds no cost to any operation. The two instruments
+// that would sit on per-operation paths — the descent-depth histogram and the
+// freeze counter — are telemetry-native and gated on the global enable flag.
+func (m *Map[V]) initMetrics() {
+	r := telemetry.NewRegistry()
+	m.reg = r
+
+	m.descentDepth = r.Histogram("sv_descent_depth",
+		"Index layers crossed by full read-path descents (finger hits skip the descent and are not observed).")
+	m.freezes = r.Counter("sv_freezes_total",
+		"Successful node freezes by Insert, tower and data layer (recorded only while telemetry is enabled).")
+
+	r.CounterFunc("sv_restarts_total",
+		"Operation restarts after failed validation, across all op kinds.", m.stats.Restarts.Load)
+	for op, name := range map[opKind]string{
+		opLookup: "sv_restarts_lookup_total",
+		opInsert: "sv_restarts_insert_total",
+		opRemove: "sv_restarts_remove_total",
+		opNav:    "sv_restarts_nav_total",
+		opRange:  "sv_restarts_range_total",
+	} {
+		r.CounterFunc(name, "Restarts charged to this operation kind.", m.restartsByOp[op].Load)
+	}
+	r.CounterFunc("sv_splits_total", "Chunk splits (capacity or keyed).", m.stats.Splits.Load)
+	r.CounterFunc("sv_merges_total", "Orphan merges, including empty-orphan unlinks.", m.stats.Merges.Load)
+	r.CounterFunc("sv_orphans_total", "Orphan nodes created by splits and index-tower removals.", m.stats.Orphans.Load)
+	r.CounterFunc("sv_node_allocs_total", "Fresh node allocations.", m.mem.allocs.Load)
+	r.CounterFunc("sv_node_reuses_total", "Nodes reused from the freelist.", m.mem.reuses.Load)
+	r.CounterFunc("sv_node_retires_total", "Nodes retired for reclamation.", m.mem.retires.Load)
+	r.CounterFunc("sv_finger_hits_total", "Operations that resumed from the search finger.", m.fingerHits.load)
+	r.CounterFunc("sv_finger_misses_total", "Finger attempts that fell back to the full descent.", m.fingerMisses.load)
+	r.GaugeFunc("sv_len", "Current key count.", func() float64 { return float64(m.length.load()) })
+
+	if d := m.mem.domain; d != nil {
+		r.CounterFunc("sv_hazard_retired_total", "Retire calls into the hazard domain.", d.RetiredTotal)
+		r.CounterFunc("sv_hazard_reclaimed_total", "Nodes a scan proved unreachable and recycled.", d.RecycledCount)
+		r.CounterFunc("sv_hazard_scans_total", "Reclamation scans performed.", d.Scans)
+		r.GaugeFunc("sv_hazard_pending", "Nodes retired but not yet recycled (bounded garbage).",
+			func() float64 { return float64(d.RetiredCount()) })
+		r.GaugeFunc("sv_hazard_retire_hwm", "Longest retired list any handle reached (telemetry-gated).",
+			func() float64 { return float64(d.RetireHWM()) })
+		r.GaugeFunc("sv_hazard_handles", "Hazard handles registered with the domain.",
+			func() float64 { return float64(d.Handles()) })
+	}
+
+	// Occupancy is collected by walking the structure at scrape time rather
+	// than instrumenting the hot paths: chunk sizes change on every insert
+	// and remove, but a scrape only needs the current distribution. The walk
+	// reads sizes speculatively, so concurrent mutators make it approximate;
+	// it is exact at quiescence, which is when the invariant suite reads it.
+	r.HistogramFunc("sv_data_chunk_occupancy",
+		"Element counts of data-layer chunks (walked at scrape time).",
+		func() telemetry.HistSnapshot { return m.occupancyHist(true) })
+	r.HistogramFunc("sv_index_chunk_occupancy",
+		"Element counts of index-layer chunks (walked at scrape time).",
+		func() telemetry.HistSnapshot { return m.occupancyHist(false) })
+	r.GaugeFunc("sv_data_occupancy_mean", "Mean data-chunk element count.",
+		func() float64 { return m.Occupancy().DataMean })
+}
+
+// Metrics returns the map's metrics combined with the process-global registry
+// (seqlock and vectormap instruments) as a single exposable view. The view
+// satisfies expvar.Var, so expvar.Publish("skipvector", m.Metrics()) puts the
+// whole catalog on /debug/vars.
+func (m *Map[V]) Metrics() *telemetry.View {
+	return telemetry.NewView(m.reg, telemetry.Global)
+}
+
+// WriteMetrics renders the full metric catalog in Prometheus text exposition
+// format.
+func (m *Map[V]) WriteMetrics(w io.Writer) error {
+	return m.Metrics().WritePrometheus(w)
+}
+
+// OccupancySnapshot aggregates chunk fill across the structure. Interior
+// (non-sentinel) nodes only: head and tail hold sentinel entries, not user
+// data, and would skew the means the paper's locality argument rests on.
+type OccupancySnapshot struct {
+	DataChunks  int
+	DataElems   int
+	DataMean    float64
+	IndexChunks int
+	IndexElems  int
+	IndexMean   float64
+}
+
+// Occupancy walks every layer and reports chunk-fill aggregates. Sizes are
+// read speculatively, so the snapshot is approximate while mutators run and
+// exact at quiescence.
+func (m *Map[V]) Occupancy() OccupancySnapshot {
+	var s OccupancySnapshot
+	for l := 0; l < m.cfg.LayerCount; l++ {
+		m.walkLayer(l, func(n *node[V]) {
+			if n.isIndex() {
+				s.IndexChunks++
+				s.IndexElems += n.index.Size()
+			} else {
+				s.DataChunks++
+				s.DataElems += n.data.Size()
+			}
+		})
+	}
+	if s.DataChunks > 0 {
+		s.DataMean = float64(s.DataElems) / float64(s.DataChunks)
+	}
+	if s.IndexChunks > 0 {
+		s.IndexMean = float64(s.IndexElems) / float64(s.IndexChunks)
+	}
+	return s
+}
+
+// occupancyHist walks one layer class into a histogram snapshot for the
+// scrape-time collectors. The snapshot is assembled locally, not through a
+// live Histogram: a scrape that asked for the distribution should get it
+// regardless of whether hot-path recording is enabled.
+func (m *Map[V]) occupancyHist(data bool) telemetry.HistSnapshot {
+	var snap telemetry.HistSnapshot
+	for l := 0; l < m.cfg.LayerCount; l++ {
+		if (l == 0) != data {
+			continue
+		}
+		m.walkLayer(l, func(n *node[V]) {
+			v := int64(n.size())
+			snap.Buckets[telemetry.BucketOf(v)]++
+			snap.Count++
+			if v > 0 {
+				snap.Sum += v
+			}
+		})
+	}
+	return snap
+}
+
+// walkLayer calls fn for every interior node of layer l, left to right. The
+// head is m.heads[l]; the tail is the unique node whose next pointer is nil.
+// Both are excluded.
+func (m *Map[V]) walkLayer(l int, fn func(n *node[V])) {
+	for n := m.heads[l].next.Load(); n != nil && n.next.Load() != nil; n = n.next.Load() {
+		fn(n)
+	}
+}
+
+// FlushRetired forces a reclamation scan on every pooled context's hazard
+// handle. At quiescence — no operations in flight, all Handles and Cursors
+// closed, so every context is back in the pool and no hazard slot is
+// published — it drains pending garbage to exactly zero. The leak test uses
+// it to separate "awaiting a scan" (fine, bounded) from "leaked" (a bug).
+func (m *Map[V]) FlushRetired() {
+	if m.mem.domain == nil {
+		return
+	}
+	m.ctxs.mu.Lock()
+	free := append([]*opCtx[V](nil), m.ctxs.free...)
+	m.ctxs.mu.Unlock()
+	for _, c := range free {
+		if c.h != nil {
+			c.h.Flush()
+		}
+	}
+}

@@ -28,7 +28,7 @@ func (m *Map[V]) floorCtx(ctx *opCtx[V], k int64) (int64, *V, bool) {
 		if key, v, found, ok := m.floorOnce(ctx, k); ok {
 			return key, v, found
 		}
-		m.restart(ctx)
+		m.restart(ctx, opNav)
 	}
 }
 
@@ -71,7 +71,7 @@ func (m *Map[V]) ceilingCtx(ctx *opCtx[V], k int64) (int64, *V, bool) {
 		if key, v, found, ok := m.ceilingOnce(ctx, k); ok {
 			return key, v, found
 		}
-		m.restart(ctx)
+		m.restart(ctx, opNav)
 	}
 }
 

@@ -166,36 +166,70 @@ type Stats struct {
 	Restarts atomic.Int64 // operation restarts after failed validation
 	Splits   atomic.Int64 // chunk splits (capacity or keyed)
 	Merges   atomic.Int64 // orphan merges (including empty-orphan unlinks)
+	Orphans  atomic.Int64 // orphan nodes created (capacity splits + index-tower removals)
 }
 
-// StatsSnapshot is a plain-value copy of Stats, extended with the memory
-// counters and the search-finger hit/miss totals (which live on the map as
-// striped counters, not in Stats, because they are bumped once per
-// operation).
+// StatsSnapshot is a plain-value copy of Stats, extended with the memory,
+// hazard-domain, and search-finger counters. Collection is tear-free in the
+// sense that every field is a single atomic load (striped counters are sums
+// of atomic loads) taken with no lock held: a snapshot under concurrent
+// mutators shows each counter at some instant during the call. Cross-field
+// identities that must hold in any snapshot are preserved by load ordering:
+// the per-kind restart counters are loaded before the total (writers bump
+// the total first), and Reclaimed before RetiredTotal (a node is counted
+// retired before it can be counted reclaimed) — so
+// RestartsLookup+…+RestartsRange ≤ Restarts and Reclaimed ≤ RetiredTotal
+// hold even mid-churn, with equality of the former at quiescence.
 type StatsSnapshot struct {
-	Restarts     int64
-	Splits       int64
-	Merges       int64
-	Allocs       int64
-	Reuses       int64
-	Retired      int64 // nodes retired but not yet recycled (bounded garbage)
-	FingerHits   int64 // operations that resumed from the search finger
-	FingerMisses int64 // finger attempts that fell back to the full descent
+	Restarts       int64
+	RestartsLookup int64
+	RestartsInsert int64
+	RestartsRemove int64
+	RestartsNav    int64 // Floor/Ceiling (and First/Last through them)
+	RestartsRange  int64 // range-window establishment
+	Splits         int64
+	Merges         int64
+	Orphans        int64
+	Freezes        int64 // successful Insert freezes; recorded only while telemetry is enabled
+	Allocs         int64
+	Reuses         int64
+	Retired        int64 // nodes retired but not yet recycled (bounded garbage)
+	RetiredTotal   int64 // monotonic Retire calls into the hazard domain
+	Reclaimed      int64 // nodes a scan proved unreachable and recycled
+	Scans          int64 // hazard reclamation scans
+	RetireHWM      int64 // longest retired list any handle reached (telemetry-gated)
+	Handles        int64 // hazard handles registered with the domain
+	FingerHits     int64 // operations that resumed from the search finger
+	FingerMisses   int64 // finger attempts that fell back to the full descent
 }
 
 // Stats returns a snapshot of the map's internal counters.
 func (m *Map[V]) Stats() StatsSnapshot {
 	s := StatsSnapshot{
-		Restarts:     m.stats.Restarts.Load(),
-		Splits:       m.stats.Splits.Load(),
-		Merges:       m.stats.Merges.Load(),
-		Allocs:       m.mem.allocs.Load(),
-		Reuses:       m.mem.reuses.Load(),
-		FingerHits:   m.fingerHits.load(),
-		FingerMisses: m.fingerMisses.load(),
+		// Per-kind restarts load before the total; see the type comment.
+		RestartsLookup: m.restartsByOp[opLookup].Load(),
+		RestartsInsert: m.restartsByOp[opInsert].Load(),
+		RestartsRemove: m.restartsByOp[opRemove].Load(),
+		RestartsNav:    m.restartsByOp[opNav].Load(),
+		RestartsRange:  m.restartsByOp[opRange].Load(),
 	}
-	if m.mem.domain != nil {
-		s.Retired = m.mem.domain.RetiredCount()
+	s.Restarts = m.stats.Restarts.Load()
+	s.Splits = m.stats.Splits.Load()
+	s.Merges = m.stats.Merges.Load()
+	s.Orphans = m.stats.Orphans.Load()
+	s.Freezes = m.freezes.Load()
+	s.Allocs = m.mem.allocs.Load()
+	s.Reuses = m.mem.reuses.Load()
+	s.FingerHits = m.fingerHits.load()
+	s.FingerMisses = m.fingerMisses.load()
+	if d := m.mem.domain; d != nil {
+		// Reclaimed before RetiredTotal; see the type comment.
+		s.Reclaimed = d.RecycledCount()
+		s.RetiredTotal = d.RetiredTotal()
+		s.Retired = d.RetiredCount()
+		s.Scans = d.Scans()
+		s.RetireHWM = d.RetireHWM()
+		s.Handles = int64(d.Handles())
 	}
 	return s
 }

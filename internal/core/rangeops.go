@@ -66,12 +66,12 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 			var ok bool
 			curr, ver, ok = m.descendToData(ctx, lo, modeRead)
 			if !ok {
-				m.restart(ctx)
+				m.restart(ctx, opRange)
 				continue
 			}
 		}
 		if !curr.lock.TryUpgrade(ver) {
-			m.restart(ctx)
+			m.restart(ctx, opRange)
 			continue
 		}
 		// From here on locks, not hazard pointers, protect the traversal:

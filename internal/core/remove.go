@@ -23,7 +23,7 @@ func (m *Map[V]) removeCtx(ctx *opCtx[V], k int64) bool {
 		if result, done := m.removeAttempt(ctx, k); done {
 			return result
 		}
-		m.restart(ctx)
+		m.restart(ctx, opRemove)
 	}
 }
 
@@ -106,6 +106,7 @@ func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
 		}
 		child.lock.Acquire()
 		child.lock.SetOrphan(true)
+		m.stats.Orphans.Add(1)
 		// The child is locked+orphan while its (about to be released)
 		// parent still holds k; stretch this hand-over-hand window.
 		chaos.Step(chaos.CoreOrphan)

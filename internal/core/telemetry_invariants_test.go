@@ -1,0 +1,432 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skipvector/internal/chaos"
+	"skipvector/internal/hazard"
+	"skipvector/internal/telemetry"
+)
+
+// invariantExpect parameterizes verifyMetricInvariants for the workload that
+// preceded the check. Zero values disable the corresponding assertion.
+type invariantExpect struct {
+	// minFreezes is a lower bound on the freeze counter; a successful Insert
+	// freezes at least one node per layer it touches, so a run with telemetry
+	// enabled throughout must report Freezes ≥ successful inserts.
+	minFreezes int64
+	// occLo/occHi bound the mean interior data-chunk occupancy. Asserted only
+	// when the structure holds at least minDataChunks interior data chunks,
+	// so a nearly empty map cannot trip the envelope on noise.
+	occLo, occHi  float64
+	minDataChunks int
+}
+
+// verifyMetricInvariants asserts the paper-level accounting identities over a
+// quiescent map's metric surface. It is the headline check of the telemetry
+// suite: any regression in reclamation precision, restart accounting, or chunk
+// balance surfaces here as a non-nil error. Callers must guarantee quiescence
+// (no operations in flight) — the identities below hold mid-churn only in
+// their inequality forms, and this helper checks the stronger quiescent forms.
+func verifyMetricInvariants(m *Map[int64], exp invariantExpect) error {
+	s := m.Stats()
+
+	// Reclamation precision: every reclaimed node was first retired, and at
+	// quiescence the pending garbage is exactly the gap between the two.
+	if s.Reclaimed > s.RetiredTotal {
+		return fmt.Errorf("reclaimed %d > retired %d: reclamation double-counted a node",
+			s.Reclaimed, s.RetiredTotal)
+	}
+	if got := s.RetiredTotal - s.Reclaimed; got != s.Retired {
+		return fmt.Errorf("pending garbage %d ≠ retired %d − reclaimed %d",
+			s.Retired, s.RetiredTotal, s.Reclaimed)
+	}
+
+	// Bounded garbage (Michael's bound): a handle scans once its retired list
+	// reaches ScanThreshold, and a scan leaves at most one node per published
+	// hazard slot behind, so neither the pending total nor the per-handle
+	// high-water mark may exceed ScanThreshold + handles × SlotsPerHandle
+	// (per handle for the HWM, × handles for the total).
+	if s.Handles > 0 {
+		perHandle := int64(hazard.ScanThreshold + s.Handles*hazard.SlotsPerHandle)
+		if s.Retired > s.Handles*perHandle {
+			return fmt.Errorf("pending garbage %d exceeds precise-reclamation bound %d (%d handles)",
+				s.Retired, s.Handles*perHandle, s.Handles)
+		}
+		if s.RetireHWM > perHandle {
+			return fmt.Errorf("retire-list high-water %d exceeds per-handle bound %d (%d handles)",
+				s.RetireHWM, perHandle, s.Handles)
+		}
+	}
+
+	// Restart accounting: every restart is charged to exactly one op kind.
+	kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange
+	if kinds != s.Restarts {
+		return fmt.Errorf("per-kind restarts sum to %d but total is %d", kinds, s.Restarts)
+	}
+
+	if s.Freezes < exp.minFreezes {
+		return fmt.Errorf("freezes %d < expected minimum %d", s.Freezes, exp.minFreezes)
+	}
+
+	// Descent depth can never exceed the number of index layers: each
+	// observation counts exchangeDown calls, one per index layer at most.
+	maxDepth := int64(m.cfg.LayerCount - 1)
+	depth := m.descentDepth.Snapshot()
+	for i := telemetry.BucketOf(maxDepth) + 1; i < telemetry.NumBuckets; i++ {
+		if depth.Buckets[i] != 0 {
+			return fmt.Errorf("descent-depth bucket %d nonempty but depth is bounded by %d index layers",
+				i, maxDepth)
+		}
+	}
+	if depth.Sum > depth.Count*maxDepth {
+		return fmt.Errorf("descent-depth sum %d exceeds %d observations × %d layers",
+			depth.Sum, depth.Count, maxDepth)
+	}
+
+	// Chunk balance: interior data chunks must average inside the configured
+	// envelope once the structure is big enough for means to be meaningful.
+	if occ := m.Occupancy(); exp.occHi > 0 && occ.DataChunks >= exp.minDataChunks {
+		if occ.DataMean < exp.occLo || occ.DataMean > exp.occHi {
+			return fmt.Errorf("mean data occupancy %.2f outside envelope [%.2f, %.2f] (%d chunks, %d elems)",
+				occ.DataMean, exp.occLo, exp.occHi, occ.DataChunks, occ.DataElems)
+		}
+	}
+	return nil
+}
+
+// TestMetricInvariantsAfterChaosStress is the positive half of the invariant
+// suite: a chaos-perturbed concurrent mixed workload (all five op kinds, so
+// every restart counter is exercised), then the full quiescent verification
+// plus a well-formedness pass over both exposition formats.
+func TestMetricInvariantsAfterChaosStress(t *testing.T) {
+	cfgs := map[string]Config{
+		"default":     testConfigs()["default"],
+		"tiny-chunks": testConfigs()["tiny-chunks"],
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			prev := telemetry.Enabled()
+			telemetry.SetEnabled(true)
+			defer telemetry.SetEnabled(prev)
+
+			const goroutines = 6
+			opsPerG := 3000
+			if testing.Short() {
+				opsPerG = 800
+			}
+			m := newTestMap(t, cfg)
+			var inserts atomic.Int64
+
+			seed := uint64(0x7e1e + len(name))
+			chaos.Enable(stressChaosConfig(seed))
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					base := int64(g) * 10_000
+					rng := rand.New(rand.NewSource(int64(g) + 7))
+					for i := 0; i < opsPerG; i++ {
+						k := base + int64(rng.Intn(512))
+						switch rng.Intn(8) {
+						case 0, 1, 2:
+							v := int64(i)
+							if m.Insert(k, &v) {
+								inserts.Add(1)
+							}
+						case 3:
+							m.Remove(k)
+						case 4:
+							m.Floor(k)
+						case 5:
+							m.Ceiling(k)
+						case 6:
+							m.RangeQuery(k, k+64, func(int64, *int64) bool { return true })
+						default:
+							m.Lookup(k)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			rep := chaos.Disable()
+			t.Logf("%v", rep)
+			if rep.Fails() == 0 || rep.Perturbations() == 0 {
+				t.Fatalf("chaos injected nothing: %v", rep)
+			}
+
+			exp := invariantExpect{
+				minFreezes:    inserts.Load(),
+				occLo:         float64(cfg.TargetDataVectorSize) / 2,
+				occHi:         2 * float64(cfg.TargetDataVectorSize),
+				minDataChunks: 4,
+			}
+			if err := verifyMetricInvariants(m, exp); err != nil {
+				t.Fatalf("metric invariants violated after stress: %v\nstats: %+v", err, m.Stats())
+			}
+			occ := m.Occupancy()
+			t.Logf("occupancy: data %.2f over %d chunks, index %.2f over %d chunks",
+				occ.DataMean, occ.DataChunks, occ.IndexMean, occ.IndexChunks)
+			mustCheck(t, m)
+
+			// Exposition well-formedness over live data: the Prometheus text
+			// must carry the headline series, and the expvar JSON must parse.
+			var buf bytes.Buffer
+			if err := m.WriteMetrics(&buf); err != nil {
+				t.Fatalf("WriteMetrics: %v", err)
+			}
+			text := buf.String()
+			for _, want := range []string{
+				"sv_restarts_total", "sv_descent_depth_bucket", "sv_hazard_retired_total",
+				"sv_data_chunk_occupancy_sum", "sv_seqlock_read_spins_total",
+			} {
+				if !strings.Contains(text, want) {
+					t.Errorf("Prometheus exposition missing %q", want)
+				}
+			}
+			var decoded map[string]any
+			if err := json.Unmarshal([]byte(m.Metrics().String()), &decoded); err != nil {
+				t.Fatalf("expvar JSON does not parse: %v", err)
+			}
+		})
+	}
+}
+
+// TestInvariantSuiteDetectsSuppressedReclaim proves the suite has teeth: with
+// reclamation deliberately suppressed through the hazard domain's test hook,
+// retired nodes accumulate past the precise-reclamation bound and
+// verifyMetricInvariants must fail. Lifting the suppression and flushing must
+// then restore a passing state, showing the failure was the injected bug and
+// not a latent one.
+func TestInvariantSuiteDetectsSuppressedReclaim(t *testing.T) {
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	m.mem.domain.SetReclaimSuppressed(true)
+
+	// Heavy single-threaded churn: with T_D = 2 every few inserts split and
+	// every removal wave merges, so retirements pile up fast.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 4000; i++ {
+		k := int64(rng.Intn(512))
+		if rng.Intn(2) == 0 {
+			m.Insert(k, v64(int64(i)))
+		} else {
+			m.Remove(k)
+		}
+	}
+
+	s := m.Stats()
+	if s.Reclaimed != 0 {
+		t.Fatalf("suppression hook leaked: %d nodes reclaimed", s.Reclaimed)
+	}
+	if s.RetiredTotal == 0 {
+		t.Fatalf("workload retired nothing; suppression cannot be observed")
+	}
+	err := verifyMetricInvariants(m, invariantExpect{})
+	if err == nil {
+		t.Fatalf("invariant suite passed despite suppressed reclamation (retired=%d pending=%d)",
+			s.RetiredTotal, s.Retired)
+	}
+	t.Logf("suite correctly rejected suppressed reclamation: %v", err)
+
+	// Lift the injected fault. The retire-list high-water mark is sticky by
+	// design and still records the pile-up, so it is reset along with the
+	// fault that caused it; everything else must recover on its own.
+	m.mem.domain.SetReclaimSuppressed(false)
+	m.FlushRetired()
+	m.mem.domain.ResetRetireHWM()
+	if err := verifyMetricInvariants(m, invariantExpect{}); err != nil {
+		t.Fatalf("invariants still failing after suppression lifted and retirees flushed: %v", err)
+	}
+	if s = m.Stats(); s.Retired != 0 {
+		t.Fatalf("flush after unsuppression left %d nodes pending", s.Retired)
+	}
+	mustCheck(t, m)
+}
+
+// TestHazardChurnNoLeak drives insert/remove churn through many explicit
+// handles, drains the map, and proves precise reclamation end to end: pending
+// garbage stays under Michael's bound during churn, drains to exactly zero at
+// quiescence, and the live structure shrinks back to its sentinels.
+func TestHazardChurnNoLeak(t *testing.T) {
+	cfg := DefaultConfig()
+	m := newTestMap(t, cfg)
+
+	const workers = 8
+	keySpace := int64(4096)
+	opsPerW := 6000
+	if testing.Short() {
+		keySpace, opsPerW = 1024, 1500
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(w) * 31))
+			for i := 0; i < opsPerW; i++ {
+				k := int64(rng.Intn(int(keySpace)))
+				if rng.Intn(3) == 0 {
+					h.Remove(k)
+				} else {
+					h.Insert(k, v64(k))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Mid-life checks: garbage bounded, structure sized O(n / targetSize).
+	s := m.Stats()
+	bound := s.Handles * int64(hazard.ScanThreshold+s.Handles*hazard.SlotsPerHandle)
+	if s.Retired > bound {
+		t.Fatalf("pending garbage %d exceeds bound %d after churn (%d handles)", s.Retired, bound, s.Handles)
+	}
+	interior := 0
+	for _, c := range m.NodeCount() {
+		interior += c - 2 // exclude the head and tail sentinels per layer
+	}
+	maxNodes := 4 + 4*int(keySpace)/cfg.TargetDataVectorSize
+	if interior > maxNodes {
+		t.Fatalf("%d interior nodes for ≤%d keys (limit %d): structure not O(n/targetSize)",
+			interior, keySpace, maxNodes)
+	}
+
+	// Drain every key, then sweep readers across the empty map so lazy
+	// maintenance unlinks the empty orphans the drain left behind.
+	for k := int64(0); k < keySpace; k++ {
+		m.Remove(k)
+	}
+	for k := int64(0); k < keySpace; k += keySpace / 16 {
+		m.Contains(k)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", m.Len())
+	}
+	m.FlushRetired()
+
+	s = m.Stats()
+	if s.Retired != 0 {
+		t.Fatalf("%d nodes still pending after quiescent flush (retired %d, reclaimed %d)",
+			s.Retired, s.RetiredTotal, s.Reclaimed)
+	}
+	if s.RetiredTotal != s.Reclaimed {
+		t.Fatalf("retired %d ≠ reclaimed %d at quiescence", s.RetiredTotal, s.Reclaimed)
+	}
+	interior = 0
+	for _, c := range m.NodeCount() {
+		interior += c - 2
+	}
+	if interior > 2*cfg.LayerCount {
+		t.Fatalf("%d interior nodes survive an empty map (layers %d): leak", interior, cfg.LayerCount)
+	}
+	mustCheck(t, m)
+}
+
+// TestStatsSnapshotTearFree snapshots Stats continuously while chaos-stressed
+// mutators run, asserting on every snapshot the two ordering identities the
+// collector promises (per-kind restarts never exceed the total; reclaimed
+// never exceeds retired) plus monotonicity of the cumulative counters between
+// consecutive snapshots. Under -race this also proves the collector performs
+// no unsynchronized reads.
+func TestStatsSnapshotTearFree(t *testing.T) {
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	const goroutines = 4
+	opsPerG := 4000
+	if testing.Short() {
+		opsPerG = 1000
+	}
+
+	chaos.Enable(stressChaosConfig(0x5a45))
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g) * 10_000
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				k := base + int64(rng.Intn(128))
+				switch rng.Intn(4) {
+				case 0, 1:
+					m.Insert(k, v64(int64(i)))
+				case 2:
+					m.Remove(k)
+				default:
+					m.Lookup(k)
+				}
+			}
+		}(g)
+	}
+
+	var snapshots atomic.Int64
+	var mutating atomic.Bool
+	mutating.Store(true)
+	var snapErr error
+	go func() {
+		defer close(done)
+		var last StatsSnapshot
+		// One extra pass after the mutators stop so the final quiescent state
+		// is also checked.
+		for final := false; ; final = !mutating.Load() {
+			s := m.Stats()
+			snapshots.Add(1)
+			kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange
+			switch {
+			case kinds > s.Restarts:
+				snapErr = fmt.Errorf("snapshot tore: per-kind restarts %d > total %d", kinds, s.Restarts)
+			case s.Reclaimed > s.RetiredTotal:
+				snapErr = fmt.Errorf("snapshot tore: reclaimed %d > retired %d", s.Reclaimed, s.RetiredTotal)
+			case s.Restarts < last.Restarts, s.Splits < last.Splits, s.Merges < last.Merges,
+				s.Orphans < last.Orphans, s.RetiredTotal < last.RetiredTotal,
+				s.Reclaimed < last.Reclaimed, s.Freezes < last.Freezes:
+				snapErr = fmt.Errorf("cumulative counter went backwards: %+v then %+v", last, s)
+			}
+			if snapErr != nil || final {
+				return
+			}
+			last = s
+			// Throttle: an unyielding spin loop starves the chaos-injected
+			// Gosched yields in the mutators, and tens of snapshots per
+			// millisecond prove nothing extra.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	mutating.Store(false)
+	<-done
+	rep := chaos.Disable()
+	if rep.Fails() == 0 {
+		t.Fatalf("chaos injected nothing: %v", rep)
+	}
+	if snapErr != nil {
+		t.Fatalf("%v (after %d snapshots)", snapErr, snapshots.Load())
+	}
+	if snapshots.Load() < 10 {
+		t.Fatalf("snapshotter only ran %d times; test proved nothing", snapshots.Load())
+	}
+	t.Logf("%d tear-free snapshots under chaos", snapshots.Load())
+	mustCheck(t, m)
+}

@@ -177,6 +177,7 @@ func (m *Map[V]) descendToData(
 	if !ok {
 		return nil, 0, false
 	}
+	depth := 0
 	for curr.isIndex() {
 		curr, ver, ok = m.traverseRight(ctx, curr, ver, k, mode)
 		if !ok {
@@ -194,6 +195,11 @@ func (m *Map[V]) descendToData(
 		if !ok {
 			return nil, 0, false
 		}
+		depth++
 	}
-	return m.traverseRight(ctx, curr, ver, k, mode)
+	n, v, ok := m.traverseRight(ctx, curr, ver, k, mode)
+	if ok {
+		m.descentDepth.Observe(ctx.stripe, int64(depth))
+	}
+	return n, v, ok
 }

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"skipvector/internal/chaos"
+	"skipvector/internal/telemetry"
 )
 
 // SlotsPerHandle is the number of hazard pointers each handle can hold at
@@ -36,11 +37,14 @@ import (
 // down node, and short-lived extras around merges), far below this bound.
 const SlotsPerHandle = 8
 
-// scanThreshold is the retired-list length that triggers a scan. Michael's
+// ScanThreshold is the retired-list length that triggers a scan. Michael's
 // analysis wants R = Ω(H) where H is the total slot count; a fixed small
 // constant keeps garbage tightly bounded, which is the property the paper
-// highlights.
-const scanThreshold = 64
+// highlights. Exported so the invariant suite can state the bound it implies:
+// a handle's retired list never exceeds ScanThreshold entries before a scan,
+// and a scan leaves at most one node per protected slot, so domain-wide
+// pending garbage is O(handles × (ScanThreshold + SlotsPerHandle)).
+const ScanThreshold = 64
 
 // Domain tracks every handle's hazard slots and supplies Retire/scan. A
 // domain is typically owned by one data structure instance. T is the node
@@ -57,6 +61,23 @@ type Domain[T any] struct {
 	// handles. Exposed for tests and stats: it is the "bounded garbage".
 	retiredCount atomic.Int64
 	recycled     atomic.Int64
+
+	// retiredTotal is the monotonic count of Retire calls; with recycled it
+	// gives the reclamation identity pending = retiredTotal − recycled that
+	// the invariant suite checks. scans counts reclamation sweeps. Both sit
+	// on cold paths, so they are always-on plain atomics rather than gated
+	// telemetry types.
+	retiredTotal atomic.Int64
+	scans        atomic.Int64
+
+	// retireHWM records the longest retired list any handle reached
+	// (telemetry-gated: one atomic load per Retire when disabled).
+	retireHWM telemetry.Max
+
+	// suppressReclaim is a test hook: while set, scans are skipped entirely,
+	// so retired nodes are never recycled. The invariant suite uses it to
+	// prove its reclamation assertions detect a broken scan.
+	suppressReclaim atomic.Bool
 }
 
 // NewDomain creates a hazard-pointer domain. recycle, if non-nil, is invoked
@@ -84,7 +105,7 @@ type Handle[T any] struct {
 // unregistered (their slots read as nil once released); pools should reuse
 // them via Acquire/ReleaseToPool semantics of the caller.
 func (d *Domain[T]) NewHandle() *Handle[T] {
-	h := &Handle[T]{domain: d, retired: make([]*T, 0, scanThreshold+8)}
+	h := &Handle[T]{domain: d, retired: make([]*T, 0, ScanThreshold+8)}
 	h.inUse.Store(true)
 	d.mu.Lock()
 	old := *d.handles.Load()
@@ -104,6 +125,28 @@ func (d *Domain[T]) RetiredCount() int64 { return d.retiredCount.Load() }
 
 // RecycledCount returns the number of nodes passed to the recycle hook.
 func (d *Domain[T]) RecycledCount() int64 { return d.recycled.Load() }
+
+// RetiredTotal returns the monotonic count of Retire calls since creation.
+func (d *Domain[T]) RetiredTotal() int64 { return d.retiredTotal.Load() }
+
+// Scans returns the number of reclamation scans performed.
+func (d *Domain[T]) Scans() int64 { return d.scans.Load() }
+
+// RetireHWM returns the longest retired list any handle reached while
+// telemetry recording was enabled.
+func (d *Domain[T]) RetireHWM() int64 { return d.retireHWM.Load() }
+
+// SetReclaimSuppressed toggles the scan-suppression test hook. While
+// suppressed, Retire still appends to the retired list but no scan runs, so
+// nothing is ever recycled — deliberately violating the precise-reclamation
+// bound so tests can confirm their assertions notice.
+func (d *Domain[T]) SetReclaimSuppressed(on bool) { d.suppressReclaim.Store(on) }
+
+// ResetRetireHWM clears the retire-list high-water mark. The mark is sticky
+// by design (a transient pile-up should stay visible); resetting it is for
+// tests that injected such a pile-up on purpose and want to verify the domain
+// returns to bounded behaviour afterwards.
+func (d *Domain[T]) ResetRetireHWM() { d.retireHWM.Reset() }
 
 // Protect publishes p in slot i. The caller must subsequently re-validate
 // (via the owning node's sequence lock) that p is still reachable before
@@ -138,9 +181,11 @@ func (h *Handle[T]) ClearAll() {
 func (h *Handle[T]) Retire(p *T) {
 	h.retired = append(h.retired, p)
 	h.domain.retiredCount.Add(1)
+	h.domain.retiredTotal.Add(1)
+	h.domain.retireHWM.Observe(int64(len(h.retired)))
 	// A forced chaos failure scans early, racing reclamation against
 	// in-flight traversals far more often than the threshold would.
-	if len(h.retired) >= scanThreshold || chaos.Fail(chaos.HazardRetire) {
+	if len(h.retired) >= ScanThreshold || chaos.Fail(chaos.HazardRetire) {
 		h.scan()
 	}
 }
@@ -156,6 +201,10 @@ func (h *Handle[T]) Flush() {
 // scan implements Michael's reclamation scan: snapshot every published
 // hazard pointer, then recycle retired nodes not in the snapshot.
 func (h *Handle[T]) scan() {
+	if h.domain.suppressReclaim.Load() {
+		return
+	}
+	h.domain.scans.Add(1)
 	handles := *h.domain.handles.Load()
 	protected := make(map[*T]struct{}, len(handles)*2)
 	for _, other := range handles {

@@ -14,19 +14,19 @@ func TestRetireWithoutProtectionRecycles(t *testing.T) {
 	var recycled []*nodeT
 	d := NewDomain(func(n *nodeT) { recycled = append(recycled, n) })
 	h := d.NewHandle()
-	nodes := make([]*nodeT, scanThreshold)
+	nodes := make([]*nodeT, ScanThreshold)
 	for i := range nodes {
 		nodes[i] = &nodeT{id: i}
 		h.Retire(nodes[i])
 	}
-	// The scanThreshold-th retire triggers a scan; nothing is protected.
-	if len(recycled) != scanThreshold {
-		t.Fatalf("recycled %d nodes, want %d", len(recycled), scanThreshold)
+	// The ScanThreshold-th retire triggers a scan; nothing is protected.
+	if len(recycled) != ScanThreshold {
+		t.Fatalf("recycled %d nodes, want %d", len(recycled), ScanThreshold)
 	}
 	if d.RetiredCount() != 0 {
 		t.Fatalf("RetiredCount = %d, want 0", d.RetiredCount())
 	}
-	if d.RecycledCount() != int64(scanThreshold) {
+	if d.RecycledCount() != int64(ScanThreshold) {
 		t.Fatalf("RecycledCount = %d", d.RecycledCount())
 	}
 }
@@ -41,7 +41,7 @@ func TestProtectedNodeSurvivesScan(t *testing.T) {
 	reader.Protect(0, victim)
 
 	owner.Retire(victim)
-	for i := 0; i < scanThreshold+4; i++ {
+	for i := 0; i < ScanThreshold+4; i++ {
 		owner.Retire(&nodeT{id: i})
 	}
 	for _, n := range recycled {
@@ -50,8 +50,8 @@ func TestProtectedNodeSurvivesScan(t *testing.T) {
 		}
 	}
 	// The victim plus any retires after the last scan remain pending.
-	if got := d.RetiredCount(); got < 1 || got > scanThreshold {
-		t.Fatalf("RetiredCount = %d, want within [1,%d]", got, scanThreshold)
+	if got := d.RetiredCount(); got < 1 || got > ScanThreshold {
+		t.Fatalf("RetiredCount = %d, want within [1,%d]", got, ScanThreshold)
 	}
 
 	// Dropping protection and flushing releases it.
@@ -85,7 +85,7 @@ func TestClearAll(t *testing.T) {
 func TestNilRecycleHook(t *testing.T) {
 	d := NewDomain[nodeT](nil)
 	h := d.NewHandle()
-	for i := 0; i < scanThreshold; i++ {
+	for i := 0; i < ScanThreshold; i++ {
 		h.Retire(&nodeT{id: i})
 	}
 	if d.RetiredCount() != 0 {
@@ -109,7 +109,7 @@ func TestHandleRegistration(t *testing.T) {
 }
 
 // TestBoundedGarbage verifies the paper's bounded-garbage property: retired
-// but unreclaimed nodes never exceed handles × scanThreshold even under a
+// but unreclaimed nodes never exceed handles × ScanThreshold even under a
 // protect/retire storm.
 func TestBoundedGarbage(t *testing.T) {
 	d := NewDomain[nodeT](nil)
@@ -134,7 +134,7 @@ func TestBoundedGarbage(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	bound := int64(workers * scanThreshold)
+	bound := int64(workers * ScanThreshold)
 	if got := maxRetired.Load(); got > bound {
 		t.Fatalf("retired high-water %d exceeds bound %d", got, bound)
 	}

@@ -28,6 +28,27 @@ import (
 	"sync/atomic"
 
 	"skipvector/internal/chaos"
+	"skipvector/internal/telemetry"
+)
+
+// Package-level metrics, registered with the global telemetry registry. The
+// lock has no per-structure identity, so the counters are process-wide; the
+// stripe hint is the snapshot's sequence bits, which spreads unrelated nodes
+// across stripes while goroutines contending on one node — which already
+// share a cache line for the lock word itself — share a stripe. Spin metrics
+// are accumulated in a local and flushed once per call, so the spin loops
+// themselves stay free of shared-memory writes.
+var (
+	mReadSpins = telemetry.Global.Counter("sv_seqlock_read_spins_total",
+		"Iterations spent in ReadVersion waiting out a writer.")
+	mReadAborts = telemetry.Global.Counter("sv_seqlock_read_aborts_total",
+		"ReadVersion calls that exhausted the spin budget and forced a restart.")
+	mAcquireSpins = telemetry.Global.Counter("sv_seqlock_acquire_spins_total",
+		"Iterations spent in Acquire waiting for the lock to clear.")
+	mUpgradeFails = telemetry.Global.Counter("sv_seqlock_upgrade_cas_failures_total",
+		"TryUpgrade attempts that lost the CAS race to another writer.")
+	mFreezeFails = telemetry.Global.Counter("sv_seqlock_freeze_cas_failures_total",
+		"TryFreeze attempts that lost the CAS race to another writer.")
 )
 
 // Bit layout of the lock word.
@@ -82,14 +103,21 @@ func (l *Lock) ReadVersion() (Version, bool) {
 	if chaos.Fail(chaos.SeqlockRead) {
 		// Simulate exhausting the spin budget against a held lock; the
 		// caller restarts exactly as it would under real contention.
-		return Version(l.word.Load()), false
+		w := l.word.Load()
+		mReadAborts.Inc(int(w >> 3))
+		return Version(w), false
 	}
 	for i := 0; ; i++ {
 		w := l.word.Load()
 		if w&lockedBit == 0 {
+			if i > 0 {
+				mReadSpins.Add(int(w>>3), int64(i))
+			}
 			return Version(w), true
 		}
 		if i >= spinBudget {
+			mReadSpins.Add(int(w>>3), int64(i))
+			mReadAborts.Inc(int(w >> 3))
 			return Version(w), false
 		}
 		runtime.Gosched()
@@ -118,9 +146,14 @@ func (l *Lock) TryUpgrade(v Version) bool {
 	}
 	if chaos.Fail(chaos.SeqlockUpgrade) {
 		// Simulate losing the CAS race to another writer.
+		mUpgradeFails.Inc(int(uint64(v) >> 3))
 		return false
 	}
-	return l.word.CompareAndSwap(uint64(v), uint64(v)|lockedBit)
+	if l.word.CompareAndSwap(uint64(v), uint64(v)|lockedBit) {
+		return true
+	}
+	mUpgradeFails.Inc(int(uint64(v) >> 3))
+	return false
 }
 
 // TryFreeze atomically sets the frozen bit if the word still equals v and v
@@ -133,12 +166,14 @@ func (l *Lock) TryFreeze(v Version) (Version, bool) {
 	}
 	if chaos.Fail(chaos.SeqlockFreeze) {
 		// Simulate losing the freeze race.
+		mFreezeFails.Inc(int(uint64(v) >> 3))
 		return v, false
 	}
 	next := uint64(v) | frozenBit
 	if l.word.CompareAndSwap(uint64(v), next) {
 		return Version(next), true
 	}
+	mFreezeFails.Inc(int(uint64(v) >> 3))
 	return v, false
 }
 
@@ -171,14 +206,20 @@ func (l *Lock) Thaw() {
 // but setting the locked bit immediately invalidates optimistic readers.
 func (l *Lock) Acquire() {
 	chaos.Step(chaos.SeqlockAcquire)
+	spins := 0
 	for i := 0; ; i++ {
 		w := l.word.Load()
 		if w&(lockedBit|frozenBit) == 0 {
 			if l.word.CompareAndSwap(w, w|lockedBit) {
+				if spins > 0 {
+					mAcquireSpins.Add(int(w>>3), int64(spins))
+				}
 				return
 			}
+			spins++
 			continue
 		}
+		spins++
 		if i >= spinBudget {
 			i = 0
 			runtime.Gosched()

@@ -30,6 +30,22 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+
+	"skipvector/internal/telemetry"
+)
+
+// Shift-distance histograms, registered with the global telemetry registry:
+// how many elements a sorted-chunk Insert or Remove displaces. The paper's
+// sorted/unsorted chunk-policy trade-off is exactly this cost, so measuring
+// it shows whether a layer's policy matches its workload. Chunks carry no
+// per-structure identity (the owning node's lock protects them), so the
+// metrics are process-wide; the caller holds the node's write lock, making
+// the insertion position a fine stripe hint.
+var (
+	mInsertShift = telemetry.Global.Histogram("sv_vectormap_insert_shift",
+		"Elements shifted right by a sorted-chunk Insert.")
+	mRemoveShift = telemetry.Global.Histogram("sv_vectormap_remove_shift",
+		"Elements shifted left by a sorted-chunk Remove.")
 )
 
 // Sentinel keys. NegInf lives in head nodes (the paper's ⊥) and PosInf in
@@ -293,6 +309,7 @@ func (c *Chunk[P]) Insert(k int64, v *P) bool {
 	if c.sorted {
 		// Find insertion point, shift right.
 		pos := sort.Search(s, func(i int) bool { return c.keys[i].Load() >= k })
+		mInsertShift.Observe(pos, int64(s-pos))
 		for i := s; i > pos; i-- {
 			c.keys[i].Store(c.keys[i-1].Load())
 			c.vals[i].Store(c.vals[i-1].Load())
@@ -327,6 +344,7 @@ func (c *Chunk[P]) Remove(k int64) (*P, bool) {
 	v := c.vals[i].Load()
 	s := int(c.size.Load())
 	if c.sorted {
+		mRemoveShift.Observe(i, int64(s-1-i))
 		for j := i; j < s-1; j++ {
 			c.keys[j].Store(c.keys[j+1].Load())
 			c.vals[j].Store(c.vals[j+1].Load())

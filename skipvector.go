@@ -30,8 +30,10 @@ package skipvector
 
 import (
 	"fmt"
+	"io"
 
 	"skipvector/internal/core"
+	"skipvector/internal/telemetry"
 )
 
 // Key range limits: user keys must satisfy MinKey < k < MaxKey.
@@ -372,9 +374,46 @@ func (h *Handle[V]) Floor(k int64) (int64, V, bool) { return unwrap[V](h.h.Floor
 // Ceiling is Map.Ceiling through the pinned session.
 func (h *Handle[V]) Ceiling(k int64) (int64, V, bool) { return unwrap[V](h.h.Ceiling(k)) }
 
-// Stats reports internal event counters (restarts, splits, merges, node
-// allocation and reuse, outstanding retired nodes, finger hits and misses).
+// Stats reports internal event counters (restarts overall and per op kind,
+// splits, merges, orphans, node allocation and reuse, hazard-domain
+// retire/reclaim totals, finger hits and misses). The snapshot is tear-free:
+// every field is a single atomic load, so it may be taken while other
+// goroutines mutate the map.
 func (m *Map[V]) Stats() core.StatsSnapshot { return m.m.Stats() }
+
+// Occupancy walks the structure and reports chunk-fill aggregates per layer
+// class — the paper's locality argument made measurable. Approximate while
+// mutators run; exact at quiescence.
+func (m *Map[V]) Occupancy() core.OccupancySnapshot { return m.m.Occupancy() }
+
+// Metrics returns the map's full metric catalog (its per-instance registry
+// combined with the process-global seqlock/vectormap instruments) as a view
+// that renders Prometheus text exposition via WritePrometheus and
+// expvar-compatible JSON via String — so expvar.Publish("skipvector",
+// m.Metrics()) exposes everything on /debug/vars.
+//
+// Most metrics are always-on; the hot-path instruments (descent depths, spin
+// counts, shift distances, freeze counts) record only while telemetry
+// collection is enabled — see SetTelemetry.
+func (m *Map[V]) Metrics() *telemetry.View { return m.m.Metrics() }
+
+// WriteMetrics renders the full metric catalog in Prometheus text exposition
+// format.
+func (m *Map[V]) WriteMetrics(w io.Writer) error { return m.m.WriteMetrics(w) }
+
+// SetTelemetry turns hot-path metric recording on or off (process-wide,
+// default off). Disabled, every instrumented site costs one atomic load and
+// a predicted branch; see BenchmarkTelemetryOnOff for the measured gap.
+func SetTelemetry(on bool) { telemetry.SetEnabled(on) }
+
+// TelemetryEnabled reports whether hot-path metric recording is on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// FlushRetired forces a hazard-pointer reclamation scan on every pooled
+// session. At quiescence — no operations in flight, all handles and cursors
+// closed — it drains pending retired nodes to zero. Intended for tests and
+// controlled teardown.
+func (m *Map[V]) FlushRetired() { m.m.FlushRetired() }
 
 // CheckInvariants validates the whole structure. Quiescent use only.
 func (m *Map[V]) CheckInvariants() error { return m.m.CheckInvariants() }

@@ -1,0 +1,163 @@
+package svpq
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"skipvector/internal/chaos"
+)
+
+// stressChaos mirrors the core chaos stress tuning: frequent forced
+// validation failures plus yields so the queue's Push/PopMin retry loops run
+// against real interleavings even on few cores.
+func stressChaos(seed uint64) chaos.Config {
+	return chaos.Config{
+		Seed:       seed,
+		FailOneIn:  48,
+		YieldOneIn: 24,
+		DelayOneIn: 4096,
+		Delay:      5 * time.Microsecond,
+	}
+}
+
+// TestStressConcurrentPushPop hammers the queue with concurrent pushers and
+// poppers under chaos, then checks conservation against a reference multiset:
+// every priority popped or left behind was pushed exactly once, nothing was
+// lost, duplicated, or invented.
+func TestStressConcurrentPushPop(t *testing.T) {
+	const (
+		pushers = 4
+		poppers = 3
+	)
+	pushesPerG := 4000
+	if testing.Short() {
+		pushesPerG = 1000
+	}
+
+	q := New[int64]()
+	pushed := make([]map[int64]int, pushers) // per-pusher priority multisets
+	popped := make([]map[int64]int, poppers)
+
+	chaos.Enable(stressChaos(0x5119))
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		pushed[g] = make(map[int64]int)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 17))
+			for i := 0; i < pushesPerG; i++ {
+				p := int64(rng.Intn(64)) // small range forces duplicate priorities
+				q.Push(p, p)
+				pushed[g][p]++
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	for g := 0; g < poppers; g++ {
+		done.Add(1)
+		popped[g] = make(map[int64]int)
+		go func(g int) {
+			defer done.Done()
+			for {
+				p, v, ok := q.PopMin()
+				if ok {
+					if p != v {
+						t.Errorf("PopMin returned priority %d with value %d", p, v)
+						return
+					}
+					popped[g][p]++
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	done.Wait()
+	rep := chaos.Disable()
+	t.Logf("%v", rep)
+	if t.Failed() {
+		return
+	}
+	if rep.Fails() == 0 || rep.Perturbations() == 0 {
+		t.Fatalf("chaos injected nothing: %v", rep)
+	}
+
+	// Fold the leftovers into the popped side, then compare multisets.
+	leftovers := make(map[int64]int)
+	drained := q.Drain(func(p int64, v int64) { leftovers[p]++ })
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	want := make(map[int64]int)
+	for _, m := range pushed {
+		for p, n := range m {
+			want[p] += n
+		}
+	}
+	got := leftovers
+	for _, m := range popped {
+		for p, n := range m {
+			got[p] += n
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("priority sets differ: got %d distinct, want %d", len(got), len(want))
+	}
+	for p, n := range want {
+		if got[p] != n {
+			t.Fatalf("priority %d: popped+drained %d times, pushed %d times (drained %d total)",
+				p, got[p], n, drained)
+		}
+	}
+}
+
+// TestStressDrainOrdered verifies that after concurrent mixed pushes the
+// final drain observes priorities in non-decreasing order — the heap property
+// of the queue as realised by the underlying ordered map.
+func TestStressDrainOrdered(t *testing.T) {
+	const goroutines = 6
+	pushesPerG := 3000
+	if testing.Short() {
+		pushesPerG = 800
+	}
+	q := New[int64]()
+	chaos.Enable(stressChaos(0xd4a1))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < pushesPerG; i++ {
+				p := int64(rng.Intn(10_000)) - 5000 // negative priorities too
+				q.Push(p, p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := chaos.Disable()
+	if rep.Fails() == 0 {
+		t.Fatalf("chaos injected nothing: %v", rep)
+	}
+
+	last := int64(-1 << 62)
+	n := q.Drain(func(p int64, v int64) {
+		if p < last {
+			t.Fatalf("drain out of order: %d after %d", p, last)
+		}
+		last = p
+	})
+	if want := goroutines * pushesPerG; n != want {
+		t.Fatalf("drained %d entries, pushed %d", n, want)
+	}
+}

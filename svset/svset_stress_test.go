@@ -1,0 +1,126 @@
+package svset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"skipvector/internal/chaos"
+)
+
+// stressChaos mirrors the core chaos stress tuning so the facade is exercised
+// against forced validation failures and stretched freeze/merge windows, not
+// just whatever interleavings the scheduler happens to produce.
+func stressChaos(seed uint64) chaos.Config {
+	return chaos.Config{
+		Seed:       seed,
+		FailOneIn:  48,
+		YieldOneIn: 24,
+		DelayOneIn: 4096,
+		Delay:      5 * time.Microsecond,
+	}
+}
+
+// TestStressDifferential runs a chaos-perturbed concurrent workload against a
+// mutex-guarded reference set. Each goroutine owns a disjoint key stripe, so
+// every operation's boolean result is exactly predicted by the reference; the
+// run ends with a full content comparison through Elements.
+func TestStressDifferential(t *testing.T) {
+	const goroutines = 6
+	opsPerG := 3000
+	if testing.Short() {
+		opsPerG = 800
+	}
+	s := New()
+	ref := make(map[int64]struct{})
+	var refMu sync.Mutex
+
+	chaos.Enable(stressChaos(0x5e7))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g) * 10_000 // disjoint stripe per goroutine
+			rng := rand.New(rand.NewSource(int64(g) + 5))
+			for i := 0; i < opsPerG; i++ {
+				k := base + int64(rng.Intn(256))
+				switch rng.Intn(6) {
+				case 0, 1:
+					got := s.Insert(k)
+					refMu.Lock()
+					_, had := ref[k]
+					ref[k] = struct{}{}
+					refMu.Unlock()
+					if got == had {
+						t.Errorf("Insert(%d) = %t but reference had=%t", k, got, had)
+						return
+					}
+				case 2:
+					got := s.Remove(k)
+					refMu.Lock()
+					_, had := ref[k]
+					delete(ref, k)
+					refMu.Unlock()
+					if got != had {
+						t.Errorf("Remove(%d) = %t but reference had=%t", k, got, had)
+						return
+					}
+				case 3:
+					got := s.Contains(k)
+					refMu.Lock()
+					_, had := ref[k]
+					refMu.Unlock()
+					if got != had {
+						t.Errorf("Contains(%d) = %t but reference had=%t", k, got, had)
+						return
+					}
+				case 4:
+					// Floor within the stripe: the answer must be a key the
+					// stripe owner once inserted; exactness is checked by the
+					// final sweep, here it must just stay inside the stripe.
+					if f, ok := s.Floor(k); ok && f >= base && f > k {
+						t.Errorf("Floor(%d) = %d > query", k, f)
+						return
+					}
+				default:
+					if c, ok := s.Ceiling(k); ok && c < k {
+						t.Errorf("Ceiling(%d) = %d < query", k, c)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := chaos.Disable()
+	t.Logf("%v", rep)
+	if t.Failed() {
+		return
+	}
+	if rep.Fails() == 0 || rep.Perturbations() == 0 {
+		t.Fatalf("chaos injected nothing: %v", rep)
+	}
+
+	// Differential sweep: identical contents, in order.
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference holds %d", s.Len(), len(ref))
+	}
+	elems := s.Elements()
+	for i := 1; i < len(elems); i++ {
+		if elems[i-1] >= elems[i] {
+			t.Fatalf("Elements not strictly ascending at %d: %d, %d", i, elems[i-1], elems[i])
+		}
+	}
+	for _, k := range elems {
+		if _, ok := ref[k]; !ok {
+			t.Fatalf("set holds key %d absent from reference", k)
+		}
+	}
+	for k := range ref {
+		if !s.Contains(k) {
+			t.Fatalf("reference key %d missing from set", k)
+		}
+	}
+}
