@@ -109,13 +109,41 @@ func (s *svMap) NewSession() Session {
 	return &svSession{owner: s, h: s.m.NewHandle()}
 }
 
+// BatchWriter is the extra session capability the batch-update figure
+// drives: upserts issued one key at a time and the same keys as one
+// ApplyBatch call.
+type BatchWriter interface {
+	Upsert(k int64, v uint64) bool
+	UpsertBatch(ks []int64)
+}
+
 // svSession is a worker-pinned view of a skip vector.
 type svSession struct {
 	owner *svMap
 	h     *core.Handle[uint64]
+	// ops is the reusable ApplyBatch request slice, so the batched side of
+	// the figure measures the commit path rather than allocation.
+	ops []core.BatchOp[uint64]
 }
 
+var _ BatchWriter = (*svSession)(nil)
+
 func (ss *svSession) Insert(k int64, v uint64) bool { return ss.h.Insert(k, &v) }
+
+func (ss *svSession) Upsert(k int64, v uint64) bool { return ss.h.Upsert(k, &v) }
+
+func (ss *svSession) UpsertBatch(ks []int64) {
+	ops := ss.ops[:0]
+	// One value block per batch instead of one allocation per key — the
+	// arena-style value handling batch callers get for free.
+	vals := make([]uint64, len(ks))
+	for i, k := range ks {
+		vals[i] = uint64(k)
+		ops = append(ops, core.BatchOp[uint64]{Key: k, Val: &vals[i]})
+	}
+	ss.ops = ops
+	ss.h.ApplyBatch(ops)
+}
 
 func (ss *svSession) Lookup(k int64) (uint64, bool) {
 	p, ok := ss.h.Lookup(k)

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipvector/internal/workload"
+)
+
+// batchSizes are the ApplyBatch request sizes of the batch-update sweep.
+var batchSizes = []int{8, 64, 256}
+
+// FigBatch runs the chunk-grouped batch-update sweep: upsert-only workloads
+// where each worker draws a run of keys and commits it either through one
+// ApplyBatch call ("batched") or an equivalent per-key Upsert loop
+// ("singleton"), on sequential-run and uniform key distributions. Throughput
+// counts keys, not batches, so the two columns are directly comparable. The
+// sweep is the acceptance gate for ApplyBatch: sequential batches of 64
+// amortize one traversal and one lock hand-off over a whole chunk run and
+// must beat the singleton loop clearly, while uniform small batches — where
+// almost every op lands in a different chunk — must not collapse.
+func FigBatch(s Scale) (*Table, error) {
+	keyRange := Pow2(s.SensitivityRangeExp)
+	window := keyRange / 64
+	if window < 512 {
+		window = 512
+	}
+	t := NewTable(
+		fmt.Sprintf("Batch upsert throughput (keys/s), %d threads, 2^%d keys",
+			s.SensitivityThreads, s.SensitivityRangeExp),
+		"pattern/size", []string{"batched", "singleton", "speedup"})
+	for _, pattern := range []struct {
+		name      string
+		seqWindow int64
+	}{
+		{name: "seq", seqWindow: window},
+		{name: "uniform"},
+	} {
+		for _, size := range batchSizes {
+			var on, off float64
+			for rep := 0; rep < s.Reps; rep++ {
+				cfg := TrialConfig{
+					Threads:   s.SensitivityThreads,
+					Duration:  s.Duration,
+					KeyRange:  keyRange,
+					Mix:       workload.Mix{InsertPct: 100},
+					SeqWindow: pattern.seqWindow,
+					Seed:      s.Seed + uint64(rep)*0x9e37,
+				}
+				resOn, err := runBatchTrial(SVHP.New(keyRange), cfg, size, true)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d batched: %w", pattern.name, size, err)
+				}
+				resOff, err := runBatchTrial(SVHP.New(keyRange), cfg, size, false)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d singleton: %w", pattern.name, size, err)
+				}
+				on += resOn.Throughput
+				off += resOff.Throughput
+			}
+			r := float64(s.Reps)
+			on, off = on/r, off/r
+			speedup := 0.0
+			if off > 0 {
+				speedup = on / off
+			}
+			t.AddRow(fmt.Sprintf("%s/%d", pattern.name, size), []float64{on, off, speedup})
+		}
+	}
+	return t, nil
+}
+
+// runBatchTrial is RunTrial's sibling for the batch sweep: every worker
+// repeatedly draws batchSize keys from the trial's distribution and upserts
+// them, as one ApplyBatch when batched or one key at a time otherwise. Both
+// sides run through pinned sessions, so the singleton baseline keeps the
+// search finger — the comparison isolates the batch commit protocol itself.
+func runBatchTrial(m IntMap, cfg TrialConfig, batchSize int, batched bool) (TrialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrialResult{}, err
+	}
+	if batchSize < 1 {
+		return TrialResult{}, fmt.Errorf("bench: batch size %d < 1", batchSize)
+	}
+	sp, ok := m.(Sessioner)
+	if !ok {
+		return TrialResult{}, fmt.Errorf("bench: %T offers no sessions; the batch trial needs them", m)
+	}
+	if probe := sp.NewSession(); true {
+		_, isBW := probe.(BatchWriter)
+		probe.Close()
+		if !isBW {
+			return TrialResult{}, fmt.Errorf("bench: %T sessions cannot batch-upsert", m)
+		}
+	}
+	if !cfg.SkipPrefill {
+		Prefill(m, cfg.KeyRange, cfg.Seed, cfg.Threads)
+	}
+
+	var (
+		stop   atomic.Bool
+		start  sync.WaitGroup
+		done   sync.WaitGroup
+		counts = make([]int64, cfg.Threads)
+	)
+	root := workload.NewRNG(cfg.Seed ^ 0xabcdef)
+	start.Add(1)
+	for t := 0; t < cfg.Threads; t++ {
+		rng := root.Split()
+		var keys workload.KeyGen
+		if cfg.SeqWindow > 0 {
+			keys = workload.NewSeqWindow(rng, cfg.KeyRange, cfg.SeqWindow)
+		} else {
+			keys = workload.NewUniform(rng, cfg.KeyRange)
+		}
+		done.Add(1)
+		go func(id int, keys workload.KeyGen) {
+			defer done.Done()
+			sess := sp.NewSession()
+			defer sess.Close()
+			bw := sess.(BatchWriter)
+			ks := make([]int64, batchSize)
+			start.Wait()
+			var local int64
+			for !stop.Load() {
+				for i := range ks {
+					ks[i] = keys.Next()
+				}
+				if batched {
+					bw.UpsertBatch(ks)
+				} else {
+					for _, k := range ks {
+						bw.Upsert(k, uint64(k))
+					}
+				}
+				local += int64(batchSize)
+			}
+			counts[id] = local
+		}(t, keys)
+	}
+
+	begin := time.Now()
+	start.Done()
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return TrialResult{
+		Ops:        total,
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}

@@ -82,6 +82,14 @@ const (
 	// remembered seqlock version; a forced failure simulates the node having
 	// changed, driving the finger-miss fallback to the full descent.
 	CoreFinger
+	// CoreBatch is hit in ApplyBatch's group-commit path: before a group's
+	// descent (a forced failure restarts the group after its predecessor
+	// groups already committed), after the group's write lock is taken but
+	// before any slot is applied (a forced failure aborts and restarts the
+	// group — the window where a torn batch would be observable if groups
+	// were not individually atomic), and perturbation-only between the
+	// multi-slot applications inside one held lock.
+	CoreBatch
 
 	// NumSites is the number of injection sites (array-sizing constant).
 	NumSites
@@ -114,6 +122,8 @@ func (s Site) String() string {
 		return "core.orphan"
 	case CoreFinger:
 		return "core.finger"
+	case CoreBatch:
+		return "core.batch"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"skipvector/internal/chaos"
+)
+
+// TestChaosBatchAtomicity proves group commits are all-or-nothing under
+// injected failures at the CoreBatch site. The single-layer config with a key
+// space far below one chunk's capacity pins every batch to exactly one group
+// commit (no splits, no tall-key routing, no min-defer — the head chunk owns
+// everything), so batch atomicity is exactly group atomicity: writers flip
+// (2i, 2i+1) pairs in and out with one batch per flip, and no reader snapshot
+// may ever see half a pair, even though chaos keeps failing attempts between
+// the lock acquisition and the release.
+func TestChaosBatchAtomicity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LayerCount = 1 // randomHeight ≡ 0: no singleton routing, ever
+
+	const (
+		pairs   = 8 // 16 keys ≪ one chunk's capacity of 64
+		writers = 2
+		readers = 2
+	)
+	rounds := 400
+	if testing.Short() {
+		rounds = 120
+	}
+	m := newTestMap(t, cfg)
+
+	chaos.Enable(stressChaosConfig(0xba7c4))
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var tornMsg atomic.Value
+	var wwg, rwg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 17))
+			for r := 0; r < rounds; r++ {
+				p := int64(rng.Intn(pairs))
+				k := 2 * p
+				v := v64(int64(r))
+				if rng.Intn(2) == 0 {
+					m.ApplyBatch([]BatchOp[int64]{{Key: k, Val: v}, {Key: k + 1, Val: v}})
+				} else {
+					m.ApplyBatch([]BatchOp[int64]{{Key: k, Del: true}, {Key: k + 1, Del: true}})
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		rwg.Add(1)
+		go func(rd int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(rd) + 71))
+			for !stop.Load() {
+				p := int64(rng.Intn(pairs))
+				k := 2 * p
+				var got []int64
+				var vals []int64
+				m.RangeQuery(k, k+1, func(qk int64, qv *int64) bool {
+					got = append(got, qk)
+					vals = append(vals, *qv)
+					return true
+				})
+				switch {
+				case len(got) == 1:
+					torn.Add(1)
+					tornMsg.Store("half a pair visible")
+				case len(got) == 2 && vals[0] != vals[1]:
+					// Both writers write the pair with one value per batch, so
+					// mismatched halves mean two batches interleaved mid-commit.
+					torn.Add(1)
+					tornMsg.Store("pair halves from different batches")
+				}
+			}
+		}(rd)
+	}
+
+	wwg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+
+	rep := chaos.Disable()
+	t.Logf("%v", rep)
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn pair observations (%v): group commit is not atomic", torn.Load(), tornMsg.Load())
+	}
+	if rep.Sites[chaos.CoreBatch].Fails == 0 {
+		t.Fatalf("no failures injected at the CoreBatch site: %v", rep)
+	}
+	if rep.Perturbations() == 0 {
+		t.Fatalf("chaos injected no perturbations: %v", rep)
+	}
+	mustCheck(t, m)
+}
+
+// TestChaosBatchPrefixVisibility covers the cross-group contract on a
+// multi-chunk structure: a batch is not atomic as a whole, but its groups
+// commit in ascending key order, so a linearizable range snapshot taken
+// mid-batch must see a clean key-order prefix of the new round's values and
+// the old round's values after it — never an out-of-order mix, and never a
+// torn group. Chaos keeps failing commits between groups and after lock
+// acquisition (the CoreBatch site), which is exactly where a buggy
+// implementation would leak a partial state.
+func TestChaosBatchPrefixVisibility(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"] // T_D = 2: every batch spans many chunks
+
+	const (
+		stripeLen = 16
+		writers   = 2
+	)
+	rounds := 150
+	if testing.Short() {
+		rounds = 50
+	}
+	m := newTestMap(t, cfg)
+
+	// Round 0 prefill, before chaos and before the readers start: every
+	// stripe key present.
+	for w := 0; w < writers; w++ {
+		base := int64(w) * 1000
+		ops := make([]BatchOp[int64], stripeLen)
+		for i := range ops {
+			ops[i] = BatchOp[int64]{Key: base + int64(i), Val: v64(0)}
+		}
+		m.ApplyBatch(ops)
+	}
+
+	chaos.Enable(stressChaosConfig(0xba7c5))
+	var stop atomic.Bool
+	var violations atomic.Int64
+	var detail atomic.Value
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * 1000
+			h := m.NewHandle()
+			defer h.Close()
+			for r := 1; r <= rounds; r++ {
+				ops := make([]BatchOp[int64], stripeLen)
+				for i := range ops {
+					ops[i] = BatchOp[int64]{Key: base + int64(i), Val: v64(int64(r))}
+				}
+				h.ApplyBatch(ops)
+			}
+		}(w)
+	}
+
+	var rwg sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		rwg.Add(1)
+		go func(rd int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(int64(rd) + 3))
+			for !stop.Load() {
+				base := int64(rng.Intn(writers)) * 1000
+				var vals []int64
+				m.RangeQuery(base, base+stripeLen-1, func(_ int64, v *int64) bool {
+					vals = append(vals, *v)
+					return true
+				})
+				// The snapshot linearizes between two group commits of some
+				// round r: values must read r..r, r-1..r-1 in key order.
+				if len(vals) != stripeLen {
+					violations.Add(1)
+					detail.Store("stripe key vanished during upsert-only rounds")
+					continue
+				}
+				for i := 1; i < len(vals); i++ {
+					if vals[i] > vals[i-1] {
+						violations.Add(1)
+						detail.Store("later group visible before an earlier one")
+					}
+				}
+				if vals[0]-vals[len(vals)-1] > 1 {
+					violations.Add(1)
+					detail.Store("snapshot spans more than two rounds: lost a group commit")
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+
+	rep := chaos.Disable()
+	t.Logf("%v", rep)
+	if violations.Load() != 0 {
+		t.Fatalf("%d prefix-visibility violations (%v)", violations.Load(), detail.Load())
+	}
+	if rep.Sites[chaos.CoreBatch].Fails == 0 {
+		t.Fatalf("no failures injected at the CoreBatch site: %v", rep)
+	}
+	mustCheck(t, m)
+
+	// Quiescent content check: the last round's value everywhere.
+	for w := 0; w < writers; w++ {
+		base := int64(w) * 1000
+		for i := int64(0); i < stripeLen; i++ {
+			if pv, ok := m.Lookup(base + i); !ok || *pv != int64(rounds) {
+				t.Fatalf("key %d = %v, %t after %d rounds", base+i, pv, ok, rounds)
+			}
+		}
+	}
+}

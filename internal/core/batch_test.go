@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// applyBatchModel replays a batch against a plain map model with ApplyBatch's
+// declared semantics — ascending key order, same-key ops in request order —
+// and returns the expected per-op outcomes in request positions.
+func applyBatchModel(model map[int64]int64, ops []BatchOp[int64]) []BatchOutcome {
+	order := make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ops[order[a]].Key < ops[order[b]].Key })
+	outs := make([]BatchOutcome, len(ops))
+	for _, oi := range order {
+		op := ops[oi]
+		_, present := model[op.Key]
+		switch {
+		case op.Del:
+			if present {
+				delete(model, op.Key)
+				outs[oi] = BatchRemoved
+			} else {
+				outs[oi] = BatchAbsent
+			}
+		case op.InsertOnly:
+			if present {
+				outs[oi] = BatchExists
+			} else {
+				model[op.Key] = *op.Val
+				outs[oi] = BatchInserted
+			}
+		default:
+			if present {
+				outs[oi] = BatchUpdated
+			} else {
+				outs[oi] = BatchInserted
+			}
+			model[op.Key] = *op.Val
+		}
+	}
+	return outs
+}
+
+// checkBatchAgainstModel applies ops to both the map and the model and fails
+// on any outcome mismatch.
+func checkBatchAgainstModel(t *testing.T, m *Map[int64], model map[int64]int64, ops []BatchOp[int64]) {
+	t.Helper()
+	want := applyBatchModel(model, ops)
+	got := m.ApplyBatch(ops)
+	if len(got) != len(ops) {
+		t.Fatalf("ApplyBatch returned %d results for %d ops", len(got), len(ops))
+	}
+	for i := range got {
+		if got[i].Outcome != want[i] {
+			t.Fatalf("op %d (%+v): outcome %v, model wants %v\nops: %+v",
+				i, ops[i], got[i].Outcome, want[i], ops)
+		}
+	}
+}
+
+// checkMapMatchesModel verifies lookups and length against the model.
+func checkMapMatchesModel(t *testing.T, m *Map[int64], model map[int64]int64, keySpace int64) {
+	t.Helper()
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, model holds %d\n%s", m.Len(), len(model), m.Dump())
+	}
+	for k := int64(0); k < keySpace; k++ {
+		pv, ok := m.Lookup(k)
+		mv, inModel := model[k]
+		if ok != inModel {
+			t.Fatalf("Lookup(%d) = %t, model = %t", k, ok, inModel)
+		}
+		if ok && *pv != mv {
+			t.Fatalf("Lookup(%d) = %d, model = %d", k, *pv, mv)
+		}
+	}
+}
+
+// TestApplyBatchBasic walks a handful of directed batches through every config:
+// a bulk insert, a mixed update/insert-only/delete batch, and a full drain.
+func TestApplyBatchBasic(t *testing.T) {
+	forAllConfigs(t, func(t *testing.T, cfg Config) {
+		m := newTestMap(t, cfg)
+		model := map[int64]int64{}
+
+		// Bulk insert, unsorted request order.
+		var load []BatchOp[int64]
+		for _, k := range []int64{12, 3, 45, 7, 29, 18, 40, 1, 33, 22} {
+			load = append(load, BatchOp[int64]{Key: k, Val: v64(k * 10)})
+		}
+		checkBatchAgainstModel(t, m, model, load)
+		checkMapMatchesModel(t, m, model, 64)
+		mustCheck(t, m)
+
+		// Mixed batch: overwrite, insert-only on present and absent keys,
+		// delete present and absent keys.
+		mixed := []BatchOp[int64]{
+			{Key: 3, Val: v64(333)},                   // update
+			{Key: 5, Val: v64(555)},                   // fresh insert
+			{Key: 7, Val: v64(777), InsertOnly: true}, // exists
+			{Key: 9, Val: v64(999), InsertOnly: true}, // inserted
+			{Key: 12, Del: true},                      // removed
+			{Key: 13, Del: true},                      // absent
+		}
+		checkBatchAgainstModel(t, m, model, mixed)
+		checkMapMatchesModel(t, m, model, 64)
+		mustCheck(t, m)
+
+		// Drain everything, including misses.
+		var drain []BatchOp[int64]
+		for k := int64(0); k < 48; k++ {
+			drain = append(drain, BatchOp[int64]{Key: k, Del: true})
+		}
+		checkBatchAgainstModel(t, m, model, drain)
+		if m.Len() != 0 {
+			t.Fatalf("Len = %d after drain", m.Len())
+		}
+		mustCheck(t, m)
+	})
+}
+
+// TestApplyBatchDuplicateKeys pins the last-write-wins contract: same-key ops
+// resolve in request order, each reporting the outcome of its own step.
+func TestApplyBatchDuplicateKeys(t *testing.T) {
+	forAllConfigs(t, func(t *testing.T, cfg Config) {
+		m := newTestMap(t, cfg)
+		model := map[int64]int64{}
+
+		// insert → update → delete → insert-only on one key, interleaved with
+		// a neighbor so the run sits inside a larger batch.
+		ops := []BatchOp[int64]{
+			{Key: 10, Val: v64(1)},
+			{Key: 11, Val: v64(100)},
+			{Key: 10, Val: v64(2)},
+			{Key: 10, Del: true},
+			{Key: 10, Val: v64(3), InsertOnly: true},
+		}
+		checkBatchAgainstModel(t, m, model, ops)
+		if pv, ok := m.Lookup(10); !ok || *pv != 3 {
+			t.Fatalf("Lookup(10) after duplicate run: %v, %t (want 3)", pv, ok)
+		}
+
+		// Net-delete run: present key put twice then deleted.
+		ops = []BatchOp[int64]{
+			{Key: 10, Val: v64(4)},
+			{Key: 10, Val: v64(5)},
+			{Key: 10, Del: true},
+		}
+		checkBatchAgainstModel(t, m, model, ops)
+		if _, ok := m.Lookup(10); ok {
+			t.Fatal("key 10 survived a net-delete run")
+		}
+		checkMapMatchesModel(t, m, model, 16)
+		mustCheck(t, m)
+	})
+}
+
+// TestApplyBatchEmptyAndMisses covers the degenerate inputs: a nil batch, an
+// empty batch, and a batch of pure misses on an empty map.
+func TestApplyBatchEmptyAndMisses(t *testing.T) {
+	m := newTestMap(t, DefaultConfig())
+	if got := m.ApplyBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch returned %d results", len(got))
+	}
+	if got := m.ApplyBatch([]BatchOp[int64]{}); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	got := m.ApplyBatch([]BatchOp[int64]{{Key: 1, Del: true}, {Key: 2, Del: true}})
+	for i, r := range got {
+		if r.Outcome != BatchAbsent {
+			t.Fatalf("miss %d reported %v", i, r.Outcome)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	mustCheck(t, m)
+}
+
+// TestApplyBatchSentinelKeyPanics: sentinel keys are rejected up front, before
+// any op commits.
+func TestApplyBatchSentinelKeyPanics(t *testing.T) {
+	m := newTestMap(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sentinel key accepted")
+		}
+		if m.Len() != 0 {
+			t.Fatalf("batch partially committed before the key check: Len = %d", m.Len())
+		}
+	}()
+	m.ApplyBatch([]BatchOp[int64]{{Key: 1, Val: v64(1)}, {Key: MaxKey, Val: v64(2)}})
+}
+
+// TestApplyBatchChunkStraddle drives batches far wider than one chunk through
+// the tiny-chunk config, forcing repeated in-group splits, then drains the map
+// in sorted batches so removals keep landing on node minima (the min-defer
+// path).
+func TestApplyBatchChunkStraddle(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	model := map[int64]int64{}
+
+	// One batch of 128 sequential keys against T_D = 2 chunks: every group
+	// must split its segment several times before the single release.
+	var load []BatchOp[int64]
+	for k := int64(0); k < 128; k++ {
+		load = append(load, BatchOp[int64]{Key: k, Val: v64(k)})
+	}
+	checkBatchAgainstModel(t, m, model, load)
+	checkMapMatchesModel(t, m, model, 128)
+	mustCheck(t, m)
+
+	// Sorted drain in batches of 8: the head of every batch is the global
+	// minimum — guaranteed to be some node's minimum — so the min-defer
+	// singleton route is exercised repeatedly, tower unlinks included.
+	for lo := int64(0); lo < 128; lo += 8 {
+		var drain []BatchOp[int64]
+		for k := lo; k < lo+8; k++ {
+			drain = append(drain, BatchOp[int64]{Key: k, Del: true})
+		}
+		checkBatchAgainstModel(t, m, model, drain)
+		mustCheck(t, m)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after sorted drain", m.Len())
+	}
+}
+
+// TestApplyBatchMinKeyNetPut pins the min-defer split: a same-key run on a
+// node's minimum that nets to a put must stay in the grouped path (the tower
+// entry remains valid), while a net delete must detour through the top-down
+// singleton remove. Both must leave a consistent structure.
+func TestApplyBatchMinKeyNetPut(t *testing.T) {
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	model := map[int64]int64{}
+	var load []BatchOp[int64]
+	for k := int64(0); k < 32; k++ {
+		load = append(load, BatchOp[int64]{Key: k, Val: v64(k)})
+	}
+	checkBatchAgainstModel(t, m, model, load)
+
+	for k := int64(0); k < 32; k++ {
+		// delete → reinsert nets to a put on every key, node minima included.
+		ops := []BatchOp[int64]{
+			{Key: k, Del: true},
+			{Key: k, Val: v64(k * 2)},
+			{Key: k + 1, Del: true},
+			{Key: k + 1, Val: v64((k + 1) * 2), InsertOnly: true},
+		}
+		checkBatchAgainstModel(t, m, model, ops)
+	}
+	checkMapMatchesModel(t, m, model, 40)
+	mustCheck(t, m)
+}
+
+// TestApplyBatchDifferential is the randomized sweep: random mixed batches with
+// duplicate keys against the model, over every config, with full invariant and
+// content checks at the end of each round.
+func TestApplyBatchDifferential(t *testing.T) {
+	forAllConfigs(t, func(t *testing.T, cfg Config) {
+		const keySpace = 96
+		m := newTestMap(t, cfg)
+		model := map[int64]int64{}
+		rng := rand.New(rand.NewSource(int64(cfg.TargetDataVectorSize*100 + cfg.LayerCount)))
+		for round := 0; round < 60; round++ {
+			n := 1 + rng.Intn(24)
+			ops := make([]BatchOp[int64], n)
+			for i := range ops {
+				k := int64(rng.Intn(keySpace))
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					ops[i] = BatchOp[int64]{Key: k, Del: true}
+				case 3, 4:
+					ops[i] = BatchOp[int64]{Key: k, Val: v64(int64(round*1000 + i)), InsertOnly: true}
+				default:
+					ops[i] = BatchOp[int64]{Key: k, Val: v64(int64(round*1000 + i))}
+				}
+			}
+			checkBatchAgainstModel(t, m, model, ops)
+			if round%10 == 9 {
+				checkMapMatchesModel(t, m, model, keySpace)
+				mustCheck(t, m)
+			}
+		}
+		checkMapMatchesModel(t, m, model, keySpace)
+		mustCheck(t, m)
+	})
+}
+
+// TestUpsertBasic covers the singleton upsert both ways through Map and
+// Handle: fresh insert reports true, overwrite reports false and replaces the
+// payload.
+func TestUpsertBasic(t *testing.T) {
+	forAllConfigs(t, func(t *testing.T, cfg Config) {
+		m := newTestMap(t, cfg)
+		if !m.Upsert(5, v64(50)) {
+			t.Fatal("fresh Upsert reported overwrite")
+		}
+		if m.Upsert(5, v64(51)) {
+			t.Fatal("overwriting Upsert reported fresh insert")
+		}
+		if pv, ok := m.Lookup(5); !ok || *pv != 51 {
+			t.Fatalf("Lookup(5) = %v, %t after upsert", pv, ok)
+		}
+		h := m.NewHandle()
+		defer h.Close()
+		if h.Upsert(5, v64(52)) {
+			t.Fatal("handle overwrite reported fresh insert")
+		}
+		if !h.Upsert(6, v64(60)) {
+			t.Fatal("handle fresh upsert reported overwrite")
+		}
+		if pv, ok := m.Lookup(5); !ok || *pv != 52 {
+			t.Fatalf("Lookup(5) = %v, %t after handle upsert", pv, ok)
+		}
+		if m.Len() != 2 {
+			t.Fatalf("Len = %d", m.Len())
+		}
+		mustCheck(t, m)
+	})
+}
+
+// TestHandleApplyBatch runs consecutive ascending batches through one pinned
+// handle — the finger should carry from one batch to the next — and verifies
+// contents and finger traffic.
+func TestHandleApplyBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	m := newTestMap(t, cfg)
+	model := map[int64]int64{}
+	h := m.NewHandle()
+	defer h.Close()
+
+	for base := int64(0); base < 512; base += 16 {
+		ops := make([]BatchOp[int64], 16)
+		for i := range ops {
+			ops[i] = BatchOp[int64]{Key: base + int64(i), Val: v64(base)}
+		}
+		want := applyBatchModel(model, ops)
+		got := h.ApplyBatch(ops)
+		for i := range got {
+			if got[i].Outcome != want[i] {
+				t.Fatalf("batch at %d, op %d: outcome %v want %v", base, i, got[i].Outcome, want[i])
+			}
+		}
+	}
+	checkMapMatchesModel(t, m, model, 512)
+	s := m.Stats()
+	if s.FingerHits == 0 {
+		t.Fatalf("no finger hits across 32 ascending handle batches: %+v", s)
+	}
+	mustCheck(t, m)
+}

@@ -23,6 +23,7 @@ type opCtx[V any] struct {
 	rng    uint64                  // splitmix64 state
 	stripe int
 	fing   finger[V]
+	batch  batchScratch[V] // reusable ApplyBatch buffers (contexts are pooled)
 }
 
 // splitmix64 advances the RNG and returns the next 64-bit value. It is the
@@ -113,6 +114,7 @@ const (
 	opRemove
 	opNav   // Floor/Ceiling (and First/Last through them)
 	opRange // RangeQuery/RangeUpdate window establishment
+	opBatch // ApplyBatch group commits (singleton-routed batch ops charge their native kinds)
 	numOpKinds
 )
 

@@ -54,6 +54,19 @@ func (h *Handle[V]) Remove(k int64) bool {
 	return h.m.removeCtx(h.ctx, k)
 }
 
+// Upsert is Map.Upsert through the pinned context.
+func (h *Handle[V]) Upsert(k int64, v *V) bool {
+	checkKey(k)
+	return h.m.upsertWithHeight(h.ctx, k, v, h.ctx.randomHeight())
+}
+
+// ApplyBatch is Map.ApplyBatch through the pinned context. Batches whose key
+// runs fall where the previous operation finished resume from the finger,
+// skipping even the one descent per group.
+func (h *Handle[V]) ApplyBatch(ops []BatchOp[V]) []BatchResult {
+	return h.m.applyBatchCtx(h.ctx, ops)
+}
+
 // Floor is Map.Floor through the pinned context.
 func (h *Handle[V]) Floor(k int64) (int64, *V, bool) {
 	checkKey(k)

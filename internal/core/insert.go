@@ -47,7 +47,15 @@ func (m *Map[V]) Insert(k int64, v *V) bool {
 // insertCtx is Insert's retry loop against an explicit context (shared with
 // Handle.Insert).
 func (m *Map[V]) insertCtx(ctx *opCtx[V], k int64, v *V) bool {
-	height := ctx.randomHeight()
+	return m.insertWithHeight(ctx, k, v, ctx.randomHeight())
+}
+
+// insertWithHeight is the insert retry loop at a caller-chosen tower height.
+// ApplyBatch routes its ops at sort time — drawing each distinct key's height
+// once, before any locks are taken — so the singleton replay of a tall key
+// must not re-draw (re-drawing after deferral would square the tall
+// probability and starve the index layers).
+func (m *Map[V]) insertWithHeight(ctx *opCtx[V], k int64, v *V, height int) bool {
 	st := insertState[V]{lowestFrozen: -1}
 	for {
 		result, done := m.insertAttempt(ctx, &st, k, v, height)
@@ -261,6 +269,19 @@ func (m *Map[V]) applyInsert(
 // The orphan is invisible to other operations until n's lock is released,
 // because reaching it requires reading n.next and then validating n.
 func (m *Map[V]) splitFull(ctx *opCtx[V], n *node[V], k int64) *node[V] {
+	o, pivot := m.splitOrphanHalf(ctx, n)
+	if k >= pivot {
+		return o
+	}
+	return n
+}
+
+// splitOrphanHalf is the capacity-split primitive shared by splitFull and
+// ApplyBatch's group commit: it moves the upper half of the write-locked full
+// node n into a fresh private orphan linked to n's right and returns the
+// orphan with its pivot (minimum) key. The orphan stays invisible until the
+// lock that covers n is released.
+func (m *Map[V]) splitOrphanHalf(ctx *opCtx[V], n *node[V]) (*node[V], int64) {
 	o := m.mem.allocRaw(int(n.level))
 	var pivot int64
 	if n.isIndex() {
@@ -274,8 +295,5 @@ func (m *Map[V]) splitFull(ctx *opCtx[V], n *node[V], k int64) *node[V] {
 	n.next.Store(o)
 	m.stats.Splits.Add(1)
 	m.stats.Orphans.Add(1)
-	if k >= pivot {
-		return o
-	}
-	return n
+	return o, pivot
 }

@@ -173,10 +173,13 @@ type Map[V any] struct {
 	// reg is this map's metric registry (always built; recording into the
 	// gated instruments is off unless telemetry is enabled). descentDepth
 	// and freezes are the two instruments hot enough to need gating — one
-	// potential observation per operation.
-	reg          *telemetry.Registry
-	descentDepth *telemetry.Histogram
-	freezes      *telemetry.Counter
+	// potential observation per operation; the batch histograms sit on the
+	// per-call (not per-op) path of ApplyBatch and share the gate.
+	reg            *telemetry.Registry
+	descentDepth   *telemetry.Histogram
+	freezes        *telemetry.Counter
+	batchSize      *telemetry.Histogram
+	batchGroupSize *telemetry.Histogram
 }
 
 // Key sentinels: user keys must satisfy MinKey < k < MaxKey.

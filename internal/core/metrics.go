@@ -20,6 +20,10 @@ func (m *Map[V]) initMetrics() {
 		"Index layers crossed by full read-path descents (finger hits skip the descent and are not observed).")
 	m.freezes = r.Counter("sv_freezes_total",
 		"Successful node freezes by Insert, tower and data layer (recorded only while telemetry is enabled).")
+	m.batchSize = r.Histogram("sv_batch_size",
+		"Op counts of non-empty ApplyBatch calls (recorded only while telemetry is enabled).")
+	m.batchGroupSize = r.Histogram("sv_batch_group_size",
+		"Op counts of ApplyBatch commit units — grouped chunk commits and singleton-routed key runs (recorded only while telemetry is enabled).")
 
 	r.CounterFunc("sv_restarts_total",
 		"Operation restarts after failed validation, across all op kinds.", m.stats.Restarts.Load)
@@ -29,6 +33,7 @@ func (m *Map[V]) initMetrics() {
 		opRemove: "sv_restarts_remove_total",
 		opNav:    "sv_restarts_nav_total",
 		opRange:  "sv_restarts_range_total",
+		opBatch:  "sv_restarts_batch_total",
 	} {
 		r.CounterFunc(name, "Restarts charged to this operation kind.", m.restartsByOp[op].Load)
 	}

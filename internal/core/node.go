@@ -178,7 +178,7 @@ type Stats struct {
 // the per-kind restart counters are loaded before the total (writers bump
 // the total first), and Reclaimed before RetiredTotal (a node is counted
 // retired before it can be counted reclaimed) — so
-// RestartsLookup+…+RestartsRange ≤ Restarts and Reclaimed ≤ RetiredTotal
+// RestartsLookup+…+RestartsBatch ≤ Restarts and Reclaimed ≤ RetiredTotal
 // hold even mid-churn, with equality of the former at quiescence.
 type StatsSnapshot struct {
 	Restarts       int64
@@ -187,6 +187,7 @@ type StatsSnapshot struct {
 	RestartsRemove int64
 	RestartsNav    int64 // Floor/Ceiling (and First/Last through them)
 	RestartsRange  int64 // range-window establishment
+	RestartsBatch  int64 // ApplyBatch group commits
 	Splits         int64
 	Merges         int64
 	Orphans        int64
@@ -212,6 +213,7 @@ func (m *Map[V]) Stats() StatsSnapshot {
 		RestartsRemove: m.restartsByOp[opRemove].Load(),
 		RestartsNav:    m.restartsByOp[opNav].Load(),
 		RestartsRange:  m.restartsByOp[opRange].Load(),
+		RestartsBatch:  m.restartsByOp[opBatch].Load(),
 	}
 	s.Restarts = m.stats.Restarts.Load()
 	s.Splits = m.stats.Splits.Load()

@@ -28,6 +28,10 @@ type invariantExpect struct {
 	// so a nearly empty map cannot trip the envelope on noise.
 	occLo, occHi  float64
 	minDataChunks int
+	// batchOps, when nonzero, is the exact number of per-op results the
+	// workload collected from ApplyBatch calls with telemetry enabled
+	// throughout: the batch-size histogram's mass must equal it.
+	batchOps int64
 }
 
 // verifyMetricInvariants asserts the paper-level accounting identities over a
@@ -68,9 +72,41 @@ func verifyMetricInvariants(m *Map[int64], exp invariantExpect) error {
 	}
 
 	// Restart accounting: every restart is charged to exactly one op kind.
-	kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange
+	kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange + s.RestartsBatch
 	if kinds != s.Restarts {
 		return fmt.Errorf("per-kind restarts sum to %d but total is %d", kinds, s.Restarts)
+	}
+
+	// Batch accounting: commit units partition batches. Every op of a recorded
+	// batch lands in exactly one commit unit (a grouped chunk commit or a
+	// singleton-routed key run), so the two histograms carry the same mass, a
+	// batch commits in at least one unit, and no unit outgrows the largest
+	// batch.
+	bs := m.batchSize.Snapshot()
+	gs := m.batchGroupSize.Snapshot()
+	if gs.Sum != bs.Sum {
+		return fmt.Errorf("commit-unit mass %d ≠ batch-size mass %d: batch ops lost or double-committed",
+			gs.Sum, bs.Sum)
+	}
+	if gs.Count < bs.Count {
+		return fmt.Errorf("%d commit units for %d batches: some batch committed in zero units",
+			gs.Count, bs.Count)
+	}
+	maxBucket := func(h telemetry.HistSnapshot) int {
+		for i := telemetry.NumBuckets - 1; i >= 0; i-- {
+			if h.Buckets[i] != 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	if mg, mb := maxBucket(gs), maxBucket(bs); mg > mb {
+		return fmt.Errorf("largest commit unit falls in bucket %d but the largest batch only in bucket %d",
+			mg, mb)
+	}
+	if exp.batchOps > 0 && bs.Sum != exp.batchOps {
+		return fmt.Errorf("batch-size histogram mass %d ≠ %d per-op results returned",
+			bs.Sum, exp.batchOps)
 	}
 
 	if s.Freezes < exp.minFreezes {
@@ -104,7 +140,7 @@ func verifyMetricInvariants(m *Map[int64], exp invariantExpect) error {
 }
 
 // TestMetricInvariantsAfterChaosStress is the positive half of the invariant
-// suite: a chaos-perturbed concurrent mixed workload (all five op kinds, so
+// suite: a chaos-perturbed concurrent mixed workload (all six op kinds, so
 // every restart counter is exercised), then the full quiescent verification
 // plus a well-formedness pass over both exposition formats.
 func TestMetricInvariantsAfterChaosStress(t *testing.T) {
@@ -124,7 +160,7 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 				opsPerG = 800
 			}
 			m := newTestMap(t, cfg)
-			var inserts atomic.Int64
+			var inserts, batchOps atomic.Int64
 
 			seed := uint64(0x7e1e + len(name))
 			chaos.Enable(stressChaosConfig(seed))
@@ -137,7 +173,7 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(g) + 7))
 					for i := 0; i < opsPerG; i++ {
 						k := base + int64(rng.Intn(512))
-						switch rng.Intn(8) {
+						switch rng.Intn(9) {
 						case 0, 1, 2:
 							v := int64(i)
 							if m.Insert(k, &v) {
@@ -151,6 +187,23 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 							m.Ceiling(k)
 						case 6:
 							m.RangeQuery(k, k+64, func(int64, *int64) bool { return true })
+						case 7:
+							// Mixed batch over a clustered key window: upserts,
+							// insert-onlys, and deletes, duplicates included.
+							n := 1 + rng.Intn(8)
+							batch := make([]BatchOp[int64], n)
+							for b := range batch {
+								bk := k + int64(rng.Intn(16))
+								switch rng.Intn(4) {
+								case 0:
+									batch[b] = BatchOp[int64]{Key: bk, Del: true}
+								case 1:
+									batch[b] = BatchOp[int64]{Key: bk, Val: v64(int64(i + b)), InsertOnly: true}
+								default:
+									batch[b] = BatchOp[int64]{Key: bk, Val: v64(int64(i + b))}
+								}
+							}
+							batchOps.Add(int64(len(m.ApplyBatch(batch))))
 						default:
 							m.Lookup(k)
 						}
@@ -169,6 +222,7 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 				occLo:         float64(cfg.TargetDataVectorSize) / 2,
 				occHi:         2 * float64(cfg.TargetDataVectorSize),
 				minDataChunks: 4,
+				batchOps:      batchOps.Load(),
 			}
 			if err := verifyMetricInvariants(m, exp); err != nil {
 				t.Fatalf("metric invariants violated after stress: %v\nstats: %+v", err, m.Stats())
@@ -369,11 +423,17 @@ func TestStatsSnapshotTearFree(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < opsPerG; i++ {
 				k := base + int64(rng.Intn(128))
-				switch rng.Intn(4) {
+				switch rng.Intn(5) {
 				case 0, 1:
 					m.Insert(k, v64(int64(i)))
 				case 2:
 					m.Remove(k)
+				case 3:
+					m.ApplyBatch([]BatchOp[int64]{
+						{Key: k, Val: v64(int64(i))},
+						{Key: k + 1, Del: true},
+						{Key: k + 2, Val: v64(int64(i)), InsertOnly: true},
+					})
 				default:
 					m.Lookup(k)
 				}
@@ -393,7 +453,7 @@ func TestStatsSnapshotTearFree(t *testing.T) {
 		for final := false; ; final = !mutating.Load() {
 			s := m.Stats()
 			snapshots.Add(1)
-			kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange
+			kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange + s.RestartsBatch
 			switch {
 			case kinds > s.Restarts:
 				snapErr = fmt.Errorf("snapshot tore: per-kind restarts %d > total %d", kinds, s.Restarts)

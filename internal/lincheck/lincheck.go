@@ -32,6 +32,11 @@ const (
 	// KindRangeUpdate adds Delta to every value in [Key,Hi] as one atomic
 	// operation; RetVal is the number of mappings it visited.
 	KindRangeUpdate
+	// KindBatch applies Items as one atomic multi-key batch, in ascending
+	// key order with same-key items in slice order (mirroring ApplyBatch's
+	// commit order); every item's recorded Outcome must match what the
+	// sequential model produces at the batch's linearization point.
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -46,6 +51,8 @@ func (k Kind) String() string {
 		return "rangequery"
 	case KindRangeUpdate:
 		return "rangeupdate"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -54,6 +61,58 @@ func (k Kind) String() string {
 // KV is one observed key/value pair in a range query's snapshot.
 type KV struct {
 	K, V int64
+}
+
+// BatchOutcome is the per-item result a KindBatch event recorded. The values
+// mirror the implementation's outcome vocabulary; lincheck keeps its own copy
+// so the checker stays free of implementation imports.
+type BatchOutcome int
+
+// Batch item outcomes.
+const (
+	BatchInserted BatchOutcome = iota + 1
+	BatchUpdated
+	BatchRemoved
+	BatchAbsent
+	BatchExists
+)
+
+func (o BatchOutcome) String() string {
+	switch o {
+	case BatchInserted:
+		return "inserted"
+	case BatchUpdated:
+		return "updated"
+	case BatchRemoved:
+		return "removed"
+	case BatchAbsent:
+		return "absent"
+	case BatchExists:
+		return "exists"
+	default:
+		return fmt.Sprintf("BatchOutcome(%d)", int(o))
+	}
+}
+
+// BatchItem is one op of a KindBatch event: a put (optionally insert-only) or
+// a delete of Key, paired with the Outcome the implementation reported.
+type BatchItem struct {
+	Key, Val   int64
+	Del        bool
+	InsertOnly bool
+	Outcome    BatchOutcome
+}
+
+// String renders the item for failure messages.
+func (it BatchItem) String() string {
+	switch {
+	case it.Del:
+		return fmt.Sprintf("del(%d)=%v", it.Key, it.Outcome)
+	case it.InsertOnly:
+		return fmt.Sprintf("ins(%d,%d)=%v", it.Key, it.Val, it.Outcome)
+	default:
+		return fmt.Sprintf("put(%d,%d)=%v", it.Key, it.Val, it.Outcome)
+	}
 }
 
 // Event is one completed operation with its real-time interval. Timestamps
@@ -67,6 +126,7 @@ type Event struct {
 	Val    int64 // value argument for Insert
 	Delta  int64 // increment a RangeUpdate applies to each value in range
 	Pairs  []KV  // snapshot a RangeQuery observed, ascending key order
+	Items  []BatchItem // ops of a KindBatch event, in request order
 	RetOK  bool  // operation's boolean result (found / inserted / removed)
 	RetVal int64 // value returned by a Lookup; count visited by a RangeUpdate
 	Invoke int64
@@ -84,6 +144,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("P%d rangequery[%d,%d]=%v @[%d,%d]", e.Proc, e.Key, e.Hi, e.Pairs, e.Invoke, e.Return)
 	case KindRangeUpdate:
 		return fmt.Sprintf("P%d rangeupdate[%d,%d]+=%d visited %d @[%d,%d]", e.Proc, e.Key, e.Hi, e.Delta, e.RetVal, e.Invoke, e.Return)
+	case KindBatch:
+		return fmt.Sprintf("P%d batch%v @[%d,%d]", e.Proc, e.Items, e.Invoke, e.Return)
 	default:
 		return fmt.Sprintf("P%d lookup(%d)=(%d,%t) @[%d,%d]", e.Proc, e.Key, e.RetVal, e.RetOK, e.Invoke, e.Return)
 	}
@@ -259,9 +321,88 @@ func apply(e Event, state map[int64]int64) (func(), bool) {
 				state[k] -= d
 			}
 		}, true
+	case KindBatch:
+		return applyBatch(e, state)
 	default:
 		return nil, false
 	}
+}
+
+// prevEntry is one key's pre-batch state, captured for multi-key undo.
+type prevEntry struct {
+	v       int64
+	present bool
+}
+
+// applyBatch validates a KindBatch event item by item in ApplyBatch's commit
+// order (ascending key, request order within a key), mutating state as it
+// goes. First-touch snapshots give an exact multi-key undo, which also
+// restores state when a mid-batch item contradicts the model — apply's
+// contract is that a failed event leaves state unchanged.
+func applyBatch(e Event, state map[int64]int64) (func(), bool) {
+	idx := make([]int, len(e.Items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return e.Items[idx[a]].Key < e.Items[idx[b]].Key })
+
+	saved := map[int64]prevEntry{}
+	touch := func(k int64) {
+		if _, done := saved[k]; !done {
+			v, present := state[k]
+			saved[k] = prevEntry{v: v, present: present}
+		}
+	}
+	restore := func() {
+		for k, p := range saved {
+			if p.present {
+				state[k] = p.v
+			} else {
+				delete(state, k)
+			}
+		}
+	}
+	for _, i := range idx {
+		it := e.Items[i]
+		_, present := state[it.Key]
+		var want BatchOutcome
+		switch {
+		case it.Del:
+			if present {
+				want = BatchRemoved
+			} else {
+				want = BatchAbsent
+			}
+		case it.InsertOnly:
+			if present {
+				want = BatchExists
+			} else {
+				want = BatchInserted
+			}
+		default:
+			if present {
+				want = BatchUpdated
+			} else {
+				want = BatchInserted
+			}
+		}
+		if it.Outcome != want {
+			restore()
+			return nil, false
+		}
+		switch {
+		case it.Del && present:
+			touch(it.Key)
+			delete(state, it.Key)
+		case !it.Del && (!present || !it.InsertOnly):
+			touch(it.Key)
+			state[it.Key] = it.Val
+		}
+	}
+	if len(saved) == 0 {
+		return nil, true
+	}
+	return restore, true
 }
 
 // keysInRange returns the state's keys within [lo,hi], ascending.

@@ -286,3 +286,122 @@ func TestRangeKindStrings(t *testing.T) {
 		t.Fatal("range Kind strings wrong")
 	}
 }
+
+func TestBatchSequential(t *testing.T) {
+	h := seq(
+		Event{Kind: KindBatch, Items: []BatchItem{
+			{Key: 1, Val: 10, Outcome: BatchInserted},
+			{Key: 2, Val: 20, Outcome: BatchInserted},
+		}},
+		Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+		Event{Kind: KindBatch, Items: []BatchItem{
+			{Key: 1, Del: true, Outcome: BatchRemoved},
+			{Key: 2, Val: 22, Outcome: BatchUpdated},
+			{Key: 3, Val: 30, InsertOnly: true, Outcome: BatchInserted},
+			{Key: 2, Val: 23, InsertOnly: true, Outcome: BatchExists},
+		}},
+		Event{Kind: KindLookup, Key: 1, RetOK: false},
+		Event{Kind: KindLookup, Key: 2, RetOK: true, RetVal: 22},
+		Event{Kind: KindLookup, Key: 3, RetOK: true, RetVal: 30},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestBatchDuplicateKeysSequential(t *testing.T) {
+	// Same-key ops resolve in request order: insert, delete, insert-only.
+	h := seq(
+		Event{Kind: KindBatch, Items: []BatchItem{
+			{Key: 5, Val: 1, Outcome: BatchInserted},
+			{Key: 5, Del: true, Outcome: BatchRemoved},
+			{Key: 5, Val: 2, InsertOnly: true, Outcome: BatchInserted},
+		}},
+		Event{Kind: KindLookup, Key: 5, RetOK: true, RetVal: 2},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestBatchIllegalHistories(t *testing.T) {
+	cases := [][]Event{
+		// Inserted reported for a key that must already exist.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 9, RetOK: true},
+			Event{Kind: KindBatch, Items: []BatchItem{{Key: 1, Val: 10, Outcome: BatchInserted}}},
+		),
+		// Removed reported for an absent key.
+		seq(Event{Kind: KindBatch, Items: []BatchItem{{Key: 4, Del: true, Outcome: BatchRemoved}}}),
+		// Exists reported for an absent key.
+		seq(Event{Kind: KindBatch, Items: []BatchItem{{Key: 4, Val: 1, InsertOnly: true, Outcome: BatchExists}}}),
+		// Torn batch: a later lookup sees one half but misses the other.
+		seq(
+			Event{Kind: KindBatch, Items: []BatchItem{
+				{Key: 1, Val: 10, Outcome: BatchInserted},
+				{Key: 2, Val: 20, Outcome: BatchInserted},
+			}},
+			Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+			Event{Kind: KindLookup, Key: 2, RetOK: false},
+		),
+		// Duplicate-key run with outcomes out of request order.
+		seq(Event{Kind: KindBatch, Items: []BatchItem{
+			{Key: 5, Val: 1, Outcome: BatchUpdated},
+			{Key: 5, Del: true, Outcome: BatchRemoved},
+		}}),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal batch history accepted", i)
+		}
+	}
+}
+
+func TestBatchOverlappingLookupReorders(t *testing.T) {
+	// A lookup overlapping a batch may see the pre- or post-batch state of
+	// any key the batch touches — but never a torn mix inside one range
+	// query. The checker must backtrack through the batch's multi-key undo
+	// to accept the "before" linearization.
+	for _, found := range []bool{true, false} {
+		h := []Event{
+			{Proc: 0, Kind: KindBatch, Invoke: 1, Return: 6, Items: []BatchItem{
+				{Key: 1, Val: 10, Outcome: BatchInserted},
+				{Key: 2, Val: 20, Outcome: BatchInserted},
+			}},
+			{Proc: 1, Kind: KindLookup, Key: 2, RetOK: found, RetVal: 20, Invoke: 2, Return: 3},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("found=%t: %s", found, msg)
+		}
+	}
+	// A range query overlapping the batch must not see a torn prefix of it.
+	torn := []Event{
+		{Proc: 0, Kind: KindBatch, Invoke: 1, Return: 6, Items: []BatchItem{
+			{Key: 1, Val: 10, Outcome: BatchInserted},
+			{Key: 2, Val: 20, Outcome: BatchInserted},
+		}},
+		{Proc: 1, Kind: KindRangeQuery, Key: 1, Hi: 2, Pairs: []KV{{1, 10}}, Invoke: 2, Return: 3},
+	}
+	if ok, _ := Check(torn); ok {
+		t.Fatal("torn batch snapshot accepted")
+	}
+}
+
+func TestBatchUndoRestoresPriorValues(t *testing.T) {
+	// The batch overwrites and deletes pre-existing keys; a failed DFS branch
+	// must restore them exactly or the accepting order will not be found.
+	h := []Event{
+		{Proc: 0, Kind: KindInsert, Key: 1, Val: 5, RetOK: true, Invoke: 1, Return: 2},
+		{Proc: 0, Kind: KindInsert, Key: 2, Val: 6, RetOK: true, Invoke: 3, Return: 4},
+		// Batch and the two lookups overlap; only lookup-first orders accept.
+		{Proc: 0, Kind: KindBatch, Invoke: 5, Return: 10, Items: []BatchItem{
+			{Key: 1, Val: 50, Outcome: BatchUpdated},
+			{Key: 2, Del: true, Outcome: BatchRemoved},
+		}},
+		{Proc: 1, Kind: KindLookup, Key: 1, RetOK: true, RetVal: 5, Invoke: 6, Return: 7},
+		{Proc: 1, Kind: KindLookup, Key: 2, RetOK: true, RetVal: 6, Invoke: 8, Return: 9},
+	}
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}

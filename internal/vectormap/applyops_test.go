@@ -1,0 +1,248 @@
+package vectormap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applyAll is a test helper that runs ApplyOps and fails unless every op was
+// consumed.
+func applyAll(t *testing.T, c *Chunk[int64], ops []SlotOp[int64]) []SlotOutcome {
+	t.Helper()
+	out := make([]SlotOutcome, len(ops))
+	if n := c.ApplyOps(ops, out); n != len(ops) {
+		t.Fatalf("ApplyOps consumed %d of %d ops on a chunk with room", n, len(ops))
+	}
+	return out
+}
+
+func TestApplyOpsOutcomes(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		c := newChunk(t, 8, sorted)
+		c.Insert(5, val(50))
+		c.Insert(9, val(90))
+
+		out := applyAll(t, c, []SlotOp[int64]{
+			{Key: 1, Val: val(10)},                   // fresh insert
+			{Key: 5, Val: val(55)},                   // overwrite
+			{Key: 9, Val: val(99), InsertOnly: true}, // blocked by presence
+			{Key: 3, Val: val(30), InsertOnly: true}, // insert-only on absent key
+			{Key: 5, Del: true},                      // remove present
+			{Key: 7, Del: true},                      // remove absent
+		})
+		want := []SlotOutcome{SlotInserted, SlotUpdated, SlotExists, SlotInserted, SlotRemoved, SlotAbsent}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("op %d: outcome %v, want %v", i, out[i], want[i])
+			}
+		}
+		if v, ok := c.Get(9); !ok || *v != 90 {
+			t.Fatalf("InsertOnly overwrote: Get(9) = %v, %t", v, ok)
+		}
+		if _, ok := c.Get(5); ok {
+			t.Fatal("removed key 5 still present")
+		}
+		if c.Size() != 3 { // {1, 3, 9}
+			t.Fatalf("Size = %d, want 3", c.Size())
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+// TestApplyOpsDuplicateKeys pins sequential (last-write-wins) resolution of
+// intra-batch duplicates, on both cell policies.
+func TestApplyOpsDuplicateKeys(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		c := newChunk(t, 8, sorted)
+		out := applyAll(t, c, []SlotOp[int64]{
+			{Key: 4, Val: val(1)},
+			{Key: 4, Val: val(2)},
+			{Key: 4, Del: true},
+			{Key: 4, Val: val(3), InsertOnly: true},
+			{Key: 4, Val: val(4)},
+		})
+		want := []SlotOutcome{SlotInserted, SlotUpdated, SlotRemoved, SlotInserted, SlotUpdated}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("op %d: outcome %v, want %v", i, out[i], want[i])
+			}
+		}
+		if v, ok := c.Get(4); !ok || *v != 4 {
+			t.Fatalf("last write did not win: Get(4) = %v, %t", v, ok)
+		}
+		if c.Size() != 1 {
+			t.Fatalf("Size = %d, want 1", c.Size())
+		}
+	})
+}
+
+// TestApplyOpsStopsAtCapacity: an insert of a new key into a full chunk stops
+// the apply mid-group, reporting how far it got; deletes and overwrites of
+// present keys must still succeed on a full chunk.
+func TestApplyOpsStopsAtCapacity(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		c := newChunk(t, 2, sorted) // capacity 4
+		for k := int64(0); k < 4; k++ {
+			c.Insert(k*2, val(k))
+		}
+		if !c.Full() {
+			t.Fatal("chunk not full after filling to capacity")
+		}
+
+		ops := []SlotOp[int64]{
+			{Key: 0, Val: val(100)}, // overwrite: fine on a full chunk
+			{Key: 2, Del: true},     // remove: frees a cell
+			{Key: 3, Val: val(30)},  // fresh insert into the freed cell
+			{Key: 5, Val: val(50)},  // fresh insert: full again — must stop here
+			{Key: 6, Val: val(60)},  // never reached
+		}
+		out := make([]SlotOutcome, len(ops))
+		n := c.ApplyOps(ops, out)
+		if n != 3 {
+			t.Fatalf("ApplyOps consumed %d ops, want 3 (stop at the insert that found the chunk full)", n)
+		}
+		want := []SlotOutcome{SlotUpdated, SlotRemoved, SlotInserted}
+		for i := 0; i < n; i++ {
+			if out[i] != want[i] {
+				t.Fatalf("op %d: outcome %v, want %v", i, out[i], want[i])
+			}
+		}
+		if out[3] != SlotNone || out[4] != SlotNone {
+			t.Fatalf("unconsumed ops have outcomes: %v", out[3:])
+		}
+		// The caller's contract: split, then resume from ops[n:]. Simulate it.
+		var right Chunk[int64]
+		right.Init(2, sorted)
+		pivot := c.SplitUpperHalfTo(&right)
+		rest := ops[n:]
+		rem := out[n:]
+		var consumed int
+		if rest[0].Key < pivot {
+			consumed = c.ApplyOps(rest, rem)
+		} else {
+			consumed = right.ApplyOps(rest, rem)
+		}
+		if consumed != len(rest) {
+			t.Fatalf("resume consumed %d of %d", consumed, len(rest))
+		}
+		for _, k := range []int64{0, 3, 4, 5, 6} {
+			inLeft, _ := c.Get(k)
+			inRight, _ := right.Get(k)
+			if inLeft == nil && inRight == nil {
+				t.Fatalf("key %d missing after split-and-resume", k)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("left invariants: %v", err)
+		}
+		if err := right.CheckInvariants(); err != nil {
+			t.Fatalf("right invariants: %v", err)
+		}
+	})
+}
+
+// TestApplyOpsRemoveToEmpty: a delete run may drain the chunk entirely
+// mid-group; later ops must still apply to the now-empty chunk.
+func TestApplyOpsRemoveToEmpty(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		c := newChunk(t, 4, sorted)
+		c.Insert(1, val(1))
+		c.Insert(2, val(2))
+		out := applyAll(t, c, []SlotOp[int64]{
+			{Key: 1, Del: true},
+			{Key: 2, Del: true},
+			{Key: 2, Del: true}, // already gone
+			{Key: 3, Val: val(3)},
+		})
+		want := []SlotOutcome{SlotRemoved, SlotRemoved, SlotAbsent, SlotInserted}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("op %d: outcome %v, want %v", i, out[i], want[i])
+			}
+		}
+		if c.Size() != 1 {
+			t.Fatalf("Size = %d, want 1", c.Size())
+		}
+	})
+}
+
+// TestApplyOpsMatchesSingletons is the property check: a random op sequence
+// applied in one ApplyOps call must leave the same contents and report the
+// same outcomes as the equivalent singleton calls on a second chunk.
+func TestApplyOpsMatchesSingletons(t *testing.T) {
+	bothPolicies(t, func(t *testing.T, sorted bool) {
+		rng := rand.New(rand.NewSource(42))
+		for round := 0; round < 200; round++ {
+			batched := newChunk(t, 16, sorted)
+			single := newChunk(t, 16, sorted)
+			n := 1 + rng.Intn(24)
+			ops := make([]SlotOp[int64], n)
+			for i := range ops {
+				k := int64(rng.Intn(12)) // small space: plenty of duplicates
+				switch rng.Intn(4) {
+				case 0:
+					ops[i] = SlotOp[int64]{Key: k, Del: true}
+				case 1:
+					ops[i] = SlotOp[int64]{Key: k, Val: val(int64(round*100 + i)), InsertOnly: true}
+				default:
+					ops[i] = SlotOp[int64]{Key: k, Val: val(int64(round*100 + i))}
+				}
+			}
+
+			got := applyAll(t, batched, ops)
+			for i, op := range ops {
+				var want SlotOutcome
+				switch {
+				case op.Del:
+					if _, removed := single.Remove(op.Key); removed {
+						want = SlotRemoved
+					} else {
+						want = SlotAbsent
+					}
+				default:
+					if _, present := single.Get(op.Key); present {
+						if op.InsertOnly {
+							want = SlotExists
+						} else {
+							single.Set(op.Key, op.Val)
+							want = SlotUpdated
+						}
+					} else {
+						single.Insert(op.Key, op.Val)
+						want = SlotInserted
+					}
+				}
+				if got[i] != want {
+					t.Fatalf("round %d op %d (%+v): outcome %v, singleton gives %v", round, i, op, got[i], want)
+				}
+			}
+
+			if batched.Size() != single.Size() {
+				t.Fatalf("round %d: batched size %d ≠ singleton size %d", round, batched.Size(), single.Size())
+			}
+			for _, k := range single.Keys() {
+				bv, ok := batched.Get(k)
+				sv, _ := single.Get(k)
+				if !ok || *bv != *sv {
+					t.Fatalf("round %d key %d: batched %v,%t ≠ singleton %v", round, k, bv, ok, sv)
+				}
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatalf("round %d invariants: %v", round, err)
+			}
+		}
+	})
+}
+
+func TestSlotOutcomeString(t *testing.T) {
+	for o, want := range map[SlotOutcome]string{
+		SlotNone: "none", SlotInserted: "inserted", SlotUpdated: "updated",
+		SlotRemoved: "removed", SlotAbsent: "absent", SlotExists: "exists",
+	} {
+		if o.String() != want {
+			t.Fatalf("SlotOutcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}

@@ -335,6 +335,94 @@ func (c *Chunk[P]) Set(k int64, v *P) bool {
 	return true
 }
 
+// SlotOp is one element of a multi-slot batch application (ApplyOps): a put
+// (optionally insert-only) or a delete of Key.
+type SlotOp[P any] struct {
+	Key int64
+	Val *P   // payload for puts; ignored for deletes
+	Del bool // delete Key instead of writing it
+	// InsertOnly makes a put succeed only when Key is absent; an existing
+	// key is left untouched and reported as SlotExists.
+	InsertOnly bool
+}
+
+// SlotOutcome reports what one SlotOp did to the chunk.
+type SlotOutcome uint8
+
+const (
+	// SlotNone means the op was not applied (past an overflow cut).
+	SlotNone SlotOutcome = iota
+	// SlotInserted: the key was absent and was added.
+	SlotInserted
+	// SlotUpdated: the key was present and its payload was overwritten.
+	SlotUpdated
+	// SlotRemoved: the key was present and was deleted.
+	SlotRemoved
+	// SlotAbsent: a delete found nothing to delete.
+	SlotAbsent
+	// SlotExists: an insert-only put found the key already present.
+	SlotExists
+)
+
+// String names the outcome for results and test failures.
+func (o SlotOutcome) String() string {
+	switch o {
+	case SlotNone:
+		return "none"
+	case SlotInserted:
+		return "inserted"
+	case SlotUpdated:
+		return "updated"
+	case SlotRemoved:
+		return "removed"
+	case SlotAbsent:
+		return "absent"
+	case SlotExists:
+		return "exists"
+	default:
+		return fmt.Sprintf("SlotOutcome(%d)", int(o))
+	}
+}
+
+// ApplyOps applies ops sequentially — so duplicate keys inside one batch
+// resolve last-write-wins — recording each op's outcome in the parallel out
+// slice, and returns the number of ops applied. It stops short (returning
+// i < len(ops)) only when ops[i] must insert a new key into a full chunk;
+// the caller splits the chunk and retries ops[i:] on the half that owns the
+// key. Deletes, overwrites, and insert-only hits on existing keys never need
+// capacity and never stop the run. Caller must hold the owning node's write
+// lock; out must be at least as long as ops.
+func (c *Chunk[P]) ApplyOps(ops []SlotOp[P], out []SlotOutcome) int {
+	for i := range ops {
+		op := &ops[i]
+		if op.Del {
+			if _, removed := c.Remove(op.Key); removed {
+				out[i] = SlotRemoved
+			} else {
+				out[i] = SlotAbsent
+			}
+			continue
+		}
+		if j := c.indexOf(op.Key); j >= 0 {
+			if op.InsertOnly {
+				out[i] = SlotExists
+			} else {
+				c.vals[j].Store(op.Val)
+				out[i] = SlotUpdated
+			}
+			continue
+		}
+		if c.Full() {
+			return i
+		}
+		if !c.Insert(op.Key, op.Val) {
+			panic("vectormap: ApplyOps insert failed after absence check")
+		}
+		out[i] = SlotInserted
+	}
+	return len(ops)
+}
+
 // Remove deletes k and returns its payload. Caller must hold the write lock.
 func (c *Chunk[P]) Remove(k int64) (*P, bool) {
 	i := c.indexOf(k)

@@ -329,3 +329,95 @@ func TestNewFromSorted(t *testing.T) {
 		t.Fatal("mismatched lengths accepted")
 	}
 }
+
+func TestApplyBatchFacade(t *testing.T) {
+	m := New[string]()
+	m.Insert(2, "two")
+	m.Insert(4, "four")
+	res := m.ApplyBatch([]BatchOp[string]{
+		{Key: 1, Val: "one"},                   // fresh insert
+		{Key: 2, Val: "TWO"},                   // overwrite
+		{Key: 4, Val: "FOUR", InsertOnly: true}, // blocked: key present
+		{Key: 3, Val: "three", InsertOnly: true},
+		{Key: 2, Delete: true},
+		{Key: 9, Delete: true}, // absent
+	})
+	want := []BatchOutcome{BatchInserted, BatchUpdated, BatchExists, BatchInserted, BatchRemoved, BatchAbsent}
+	for i, w := range want {
+		if res[i].Outcome != w {
+			t.Fatalf("op %d: outcome %v, want %v", i, res[i].Outcome, w)
+		}
+	}
+	if v, ok := m.Lookup(4); !ok || v != "four" {
+		t.Fatalf("InsertOnly overwrote: Lookup(4) = %q,%t", v, ok)
+	}
+	if m.Contains(2) {
+		t.Fatal("deleted key 2 still present")
+	}
+	if m.Len() != 3 { // {1, 3, 4}
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestApplyBatchFacadeDuplicateKeys(t *testing.T) {
+	m := New[int]()
+	res := m.ApplyBatch([]BatchOp[int]{
+		{Key: 7, Val: 1},
+		{Key: 7, Val: 2},
+		{Key: 7, Delete: true},
+		{Key: 7, Val: 3, InsertOnly: true},
+	})
+	want := []BatchOutcome{BatchInserted, BatchUpdated, BatchRemoved, BatchInserted}
+	for i, w := range want {
+		if res[i].Outcome != w {
+			t.Fatalf("op %d: outcome %v, want %v", i, res[i].Outcome, w)
+		}
+	}
+	if v, ok := m.Lookup(7); !ok || v != 3 {
+		t.Fatalf("last write did not win: Lookup(7) = %d,%t", v, ok)
+	}
+}
+
+func TestApplyBatchFacadeValueCopies(t *testing.T) {
+	// The facade must copy each op's value: mutating the ops slice after
+	// ApplyBatch returns must not reach into the map.
+	m := New[[2]int]()
+	ops := []BatchOp[[2]int]{{Key: 1, Val: [2]int{10, 20}}}
+	m.ApplyBatch(ops)
+	ops[0].Val[0] = 999
+	if v, _ := m.Lookup(1); v != [2]int{10, 20} {
+		t.Fatalf("stored value aliased the request slice: %v", v)
+	}
+}
+
+func TestHandleUpsertAndApplyBatch(t *testing.T) {
+	m := New[int](WithSearchFinger(true))
+	h := m.NewHandle()
+	defer h.Close()
+	if !h.Upsert(3, 30) {
+		t.Fatal("handle Upsert should insert")
+	}
+	if h.Upsert(3, 33) {
+		t.Fatal("handle Upsert should replace")
+	}
+	for base := int64(0); base < 256; base += 16 {
+		ops := make([]BatchOp[int], 16)
+		for i := range ops {
+			ops[i] = BatchOp[int]{Key: base + int64(i), Val: int(base) + i}
+		}
+		for _, r := range h.ApplyBatch(ops) {
+			if r.Outcome != BatchInserted && r.Outcome != BatchUpdated {
+				t.Fatalf("unexpected outcome %v", r.Outcome)
+			}
+		}
+	}
+	if m.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -63,6 +63,34 @@ func (q *Queue[V]) Push(priority int64, v V) {
 	}
 }
 
+// Item is one PushBatch element.
+type Item[V any] struct {
+	Priority int64
+	Val      V
+}
+
+// PushBatch enqueues all items in one batched map update. Entries with
+// equal or nearby priorities pack into the same data chunks, so their
+// inserts commit under shared lock acquisitions — bulk event injection with
+// clustered priorities is where this wins over a Push loop. Each item still
+// gets its own arrival sequence number.
+func (q *Queue[V]) PushBatch(items []Item[V]) {
+	if len(items) == 0 {
+		return
+	}
+	ops := make([]skipvector.BatchOp[V], len(items))
+	for i, it := range items {
+		ops[i] = skipvector.BatchOp[V]{Key: q.key(it.Priority), Val: it.Val, InsertOnly: true}
+	}
+	for i, r := range q.m.ApplyBatch(ops) {
+		if r.Outcome == skipvector.BatchExists {
+			// Sequence collision with a still-queued entry (2^21 same-priority
+			// pushes wrapped); fall back to the retrying singleton path.
+			q.Push(items[i].Priority, items[i].Val)
+		}
+	}
+}
+
 // PopMin dequeues the entry with the smallest priority. ok=false when the
 // queue is empty.
 func (q *Queue[V]) PopMin() (priority int64, v V, ok bool) {

@@ -211,3 +211,61 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	})
 }
+
+func TestPushBatch(t *testing.T) {
+	q := New[string]()
+	q.PushBatch([]Item[string]{
+		{Priority: 5, Val: "e"},
+		{Priority: 1, Val: "a"},
+		{Priority: 5, Val: "e2"}, // duplicate priority in one batch
+		{Priority: 3, Val: "c"},
+	})
+	q.PushBatch(nil)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	var order []int64
+	q.Drain(func(p int64, _ string) { order = append(order, p) })
+	want := []int64{1, 3, 5, 5}
+	for i, p := range want {
+		if order[i] != p {
+			t.Fatalf("drain order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPushBatchConcurrentWithPop(t *testing.T) {
+	q := New[int]()
+	const producers, batches, batchLen = 4, 50, 16
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				items := make([]Item[int], batchLen)
+				for i := range items {
+					items[i] = Item[int]{Priority: int64(b), Val: g}
+				}
+				q.PushBatch(items)
+			}
+		}(g)
+	}
+	wg.Wait()
+	popped := 0
+	last := int64(-1 << 40)
+	for {
+		p, _, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		if p < last {
+			t.Fatalf("pop order regressed: %d after %d", p, last)
+		}
+		last = p
+		popped++
+	}
+	if popped != producers*batches*batchLen {
+		t.Fatalf("popped %d, want %d", popped, producers*batches*batchLen)
+	}
+}

@@ -26,8 +26,42 @@ func New(opts ...Option) *Set {
 // Insert adds k, returning false if it was already present.
 func (s *Set) Insert(k int64) bool { return s.m.Insert(k, struct{}{}) }
 
+// InsertBatch adds every key in ks and returns how many were newly
+// inserted. Runs of keys that land in one data chunk commit under a single
+// lock acquisition, so sorted or clustered inputs are substantially cheaper
+// than an Insert loop. Duplicate keys in ks count once.
+func (s *Set) InsertBatch(ks []int64) int {
+	ops := make([]skipvector.BatchOp[struct{}], len(ks))
+	for i, k := range ks {
+		ops[i] = skipvector.BatchOp[struct{}]{Key: k, InsertOnly: true}
+	}
+	n := 0
+	for _, r := range s.m.ApplyBatch(ops) {
+		if r.Outcome == skipvector.BatchInserted {
+			n++
+		}
+	}
+	return n
+}
+
 // Remove deletes k, returning false if it was absent.
 func (s *Set) Remove(k int64) bool { return s.m.Remove(k) }
+
+// RemoveBatch deletes every key in ks and returns how many were present.
+// Like InsertBatch, chunk-local runs commit under one lock acquisition.
+func (s *Set) RemoveBatch(ks []int64) int {
+	ops := make([]skipvector.BatchOp[struct{}], len(ks))
+	for i, k := range ks {
+		ops[i] = skipvector.BatchOp[struct{}]{Key: k, Delete: true}
+	}
+	n := 0
+	for _, r := range s.m.ApplyBatch(ops) {
+		if r.Outcome == skipvector.BatchRemoved {
+			n++
+		}
+	}
+	return n
+}
 
 // Contains reports membership of k.
 func (s *Set) Contains(k int64) bool { return s.m.Contains(k) }

@@ -138,3 +138,30 @@ func TestConcurrentMembership(t *testing.T) {
 func skipvectorOptions() []Option {
 	return []Option{}
 }
+
+func TestBatchInsertRemove(t *testing.T) {
+	s := New()
+	ks := make([]int64, 100)
+	for i := range ks {
+		ks[i] = int64(i)
+	}
+	if n := s.InsertBatch(ks); n != 100 {
+		t.Fatalf("InsertBatch inserted %d, want 100", n)
+	}
+	// Re-insert plus a few fresh keys: only the fresh ones count.
+	if n := s.InsertBatch([]int64{5, 50, 100, 101, 5}); n != 2 {
+		t.Fatalf("second InsertBatch inserted %d, want 2", n)
+	}
+	if s.Len() != 102 {
+		t.Fatalf("Len = %d, want 102", s.Len())
+	}
+	if n := s.RemoveBatch([]int64{0, 1, 2, 777}); n != 3 {
+		t.Fatalf("RemoveBatch removed %d, want 3", n)
+	}
+	if s.Contains(0) || !s.Contains(3) {
+		t.Fatal("RemoveBatch membership wrong")
+	}
+	if s.Len() != 99 {
+		t.Fatalf("Len = %d, want 99", s.Len())
+	}
+}
