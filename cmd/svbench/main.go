@@ -38,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, all")
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, all")
 		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
 		duration = fs.Duration("duration", 0, "override per-trial duration")
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
@@ -195,6 +195,12 @@ func run(args []string) error {
 				return err
 			}
 			emit(t)
+		case "snapshot":
+			t, err := bench.FigSnapshot(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -202,7 +208,7 @@ func run(args []string) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch"} {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot"} {
 			if err := runFig(name); err != nil {
 				return err
 			}

@@ -1,6 +1,8 @@
 package skipvector
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -236,5 +238,115 @@ func TestCursorUnderConcurrentChurn(t *testing.T) {
 		}
 		prev = k
 		n++
+	}
+}
+
+// TestSnapshotCursorSeededReplay is the cursor-over-snapshot campaign: a
+// seeded 10k-op tape mutates the map while snapshots pinned at known points
+// carry exact model copies. Each snapshot's cursor — stepped lazily,
+// interleaved with ongoing live churn and split/merge/orphan maintenance —
+// must reproduce its pinned model exactly, key by key, value by value.
+func TestSnapshotCursorSeededReplay(t *testing.T) {
+	const (
+		seed     = 0xC0FFEE
+		ops      = 10_000
+		keySpace = 2048
+	)
+	m := New[int64](WithTargetDataVectorSize(4), WithLayerCount(5))
+	ref := map[int64]int64{}
+	rng := rand.New(rand.NewSource(seed))
+
+	type pinned struct {
+		c     *SnapshotCursor[int64]
+		s     *Snapshot[int64]
+		model []int64 // interleaved key,value pairs, ascending by key
+		at    int     // replay position (in pairs)
+	}
+	var pins []pinned
+
+	takePin := func() {
+		s := m.Snapshot()
+		keys := make([]int64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		model := make([]int64, 0, 2*len(keys))
+		for _, k := range keys {
+			model = append(model, k, ref[k])
+		}
+		pins = append(pins, pinned{c: s.Cursor(MinKey + 1), s: s, model: model})
+	}
+
+	stepPins := func(steps int) {
+		for i := range pins {
+			p := &pins[i]
+			for n := 0; n < steps && p.c != nil; n++ {
+				k, v, ok := p.c.Next()
+				if !ok {
+					if p.at != len(p.model)/2 {
+						t.Fatalf("pin %d: cursor exhausted after %d of %d pairs",
+							i, p.at, len(p.model)/2)
+					}
+					p.s.Close()
+					p.c = nil
+					break
+				}
+				if p.at >= len(p.model)/2 {
+					t.Fatalf("pin %d: cursor produced extra pair (%d,%d)", i, k, v)
+				}
+				if wk, wv := p.model[2*p.at], p.model[2*p.at+1]; k != wk || v != wv {
+					t.Fatalf("pin %d: pair %d: got (%d,%d), want (%d,%d)", i, p.at, k, v, wk, wv)
+				}
+				p.at++
+			}
+		}
+	}
+
+	for i := 0; i < ops; i++ {
+		k := int64(rng.Intn(keySpace))
+		switch rng.Intn(6) {
+		case 0, 1:
+			v := int64(i)
+			if m.Insert(k, v) {
+				ref[k] = v
+			}
+		case 2:
+			m.Upsert(k, int64(-i))
+			ref[k] = int64(-i)
+		case 3:
+			m.Remove(k)
+			delete(ref, k)
+		case 4:
+			hi := k + int64(rng.Intn(64))
+			m.RangeUpdate(k, hi, func(_ int64, v int64) int64 { return v + 1 })
+			for rk := range ref {
+				if rk >= k && rk <= hi {
+					ref[rk]++
+				}
+			}
+		default:
+			v, ok := m.Lookup(k)
+			want, had := ref[k]
+			if ok != had || (ok && v != want) {
+				t.Fatalf("op %d: Lookup(%d) diverged from model", i, k)
+			}
+		}
+		if i%1000 == 999 && len(pins) < 8 {
+			takePin()
+		}
+		if i%37 == 0 {
+			stepPins(3) // lazy stepping, interleaved with churn
+		}
+	}
+	// Drain every remaining cursor to exhaustion.
+	stepPins(2 * keySpace)
+	for i := range pins {
+		if pins[i].c != nil {
+			t.Fatalf("pin %d: cursor still unfinished after full drain", i)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
 	}
 }

@@ -90,6 +90,12 @@ const (
 	// were not individually atomic), and perturbation-only between the
 	// multi-slot applications inside one held lock.
 	CoreBatch
+	// CoreSnapshot is hit in the snapshot subsystem: on every node visit of
+	// a snapshot scan (a forced failure simulates a torn optimistic read of
+	// the node, driving the local re-read loop — never a full restart), and
+	// perturbation-only inside the copy-on-write publication window between
+	// the epoch advance and the version-store insert.
+	CoreSnapshot
 
 	// NumSites is the number of injection sites (array-sizing constant).
 	NumSites
@@ -124,6 +130,8 @@ func (s Site) String() string {
 		return "core.finger"
 	case CoreBatch:
 		return "core.batch"
+	case CoreSnapshot:
+		return "core.snapshot"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -357,7 +357,13 @@ func (m *Map[V]) batchGroupAttempt(
 	// Apply phase. Everything below happens under curr's write lock; split
 	// orphans are linked behind curr but remain unreachable until its
 	// release (reaching them requires validating curr), so the release
-	// publishes all of the group's effects at once.
+	// publishes all of the group's effects at once. The CoW hook runs only
+	// now — every earlier exit releases with Abort, which requires the node
+	// (verEpoch included) untouched. One epoch covers the group: private
+	// split orphans inherit curr's freshly stamped verEpoch, so a snapshot
+	// pinned before this point reads the whole group's pre-image from the
+	// version store (snapshot.go).
+	m.noteDataWrite(curr)
 	sc := &ctx.batch
 	slots := sc.slots[:0]
 	outs := sc.outs[:0]

@@ -115,6 +115,7 @@ const (
 	opNav   // Floor/Ceiling (and First/Last through them)
 	opRange // RangeQuery/RangeUpdate window establishment
 	opBatch // ApplyBatch group commits (singleton-routed batch ops charge their native kinds)
+	opSnap  // snapshot point-read descents (snapshot scans have no restart path)
 	numOpKinds
 )
 
@@ -133,8 +134,17 @@ func (m *Map[V]) restart(ctx *opCtx[V], op opKind) {
 	ctx.dropAll()
 }
 
-// retire marks an unlinked node for reclamation ("HP.mark").
+// retire marks an unlinked node for reclamation ("HP.mark"). While snapshots
+// are pinned, data nodes are stamped with a conservative upper bound on the
+// unlinking write's epoch first: the hazard domain's recycle filter keeps
+// the node until no pinned snapshot's epoch precedes that bound, so snapshot
+// scans may keep traversing its next pointer (epoch-aware reclamation). With
+// no snapshot pinned the stamp is skipped — a node retired before a pin is
+// unreachable from any post-pin scan, so immediate recycling is safe.
 func (c *opCtx[V]) retire(n *node[V]) {
+	if n.level == 0 && c.m.snaps.count.Load() > 0 {
+		n.retireEpoch.Store(c.m.epoch.Load() + 1)
+	}
 	c.m.mem.retires.Add(1)
 	if c.h != nil {
 		c.h.Retire(n)

@@ -199,6 +199,7 @@ func (m *Map[V]) applyInsert(
 	// Layer 0.
 	d := st.prevs[0]
 	d.lock.UpgradeFrozen()
+	m.noteDataWrite(d) // CoW pre-image before the first mutation (snapshot.go)
 	if height == 0 {
 		target := d
 		if d.data.Full() {
@@ -222,6 +223,7 @@ func (m *Map[V]) applyInsert(
 	nd := m.mem.allocRaw(0)
 	d.data.MoveGreaterTo(k, &nd.data)
 	nd.data.Insert(k, v)
+	inheritVerEpoch(d, nd)
 	nd.next.Store(d.next.Load())
 	d.next.Store(nd)
 	d.lock.Release()
@@ -289,6 +291,9 @@ func (m *Map[V]) splitOrphanHalf(ctx *opCtx[V], n *node[V]) (*node[V], int64) {
 	} else {
 		pivot = n.data.SplitUpperHalfTo(&o.data)
 	}
+	// The orphan's content was part of n's at every epoch n's current
+	// verEpoch covers; the caller already ran noteDataWrite on n.
+	inheritVerEpoch(n, o)
 	o.markOrphanPrivate()
 	o.next.Store(n.next.Load())
 	chaos.Step(chaos.CoreSplit)

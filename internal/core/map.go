@@ -180,6 +180,15 @@ type Map[V any] struct {
 	freezes        *telemetry.Counter
 	batchSize      *telemetry.Histogram
 	batchGroupSize *telemetry.Histogram
+	snapChainLen   *telemetry.Histogram
+
+	// MVCC snapshot state (snapshot.go): the global write epoch, the pinned
+	// snapshot registry, and the copy-on-write version store. With no
+	// snapshot pinned the only cost any write pays is one load of
+	// snaps.count.
+	epoch  atomic.Uint64
+	snaps  snapRegistry
+	vstore versionStore[V]
 }
 
 // Key sentinels: user keys must satisfy MinKey < k < MaxKey.
@@ -220,6 +229,12 @@ func NewMap[V any](cfg Config) (*Map[V], error) {
 		below = head
 	}
 	m.head = m.heads[cfg.LayerCount-1]
+	if m.mem.domain != nil {
+		// Epoch-aware reclamation: retired data nodes must outlive every
+		// pinned snapshot that can still traverse them. Installed before any
+		// node can be retired (see hazard.SetRecycleFilter's contract).
+		m.mem.domain.SetRecycleFilter(m.snapshotsPermitRecycle)
+	}
 	m.initMetrics()
 	return m, nil
 }

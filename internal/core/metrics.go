@@ -24,6 +24,8 @@ func (m *Map[V]) initMetrics() {
 		"Op counts of non-empty ApplyBatch calls (recorded only while telemetry is enabled).")
 	m.batchGroupSize = r.Histogram("sv_batch_group_size",
 		"Op counts of ApplyBatch commit units — grouped chunk commits and singleton-routed key runs (recorded only while telemetry is enabled).")
+	m.snapChainLen = r.Histogram("sv_snapshot_chain_len",
+		"Resident version-store records observed at each copy-on-write push (recorded only while telemetry is enabled).")
 
 	r.CounterFunc("sv_restarts_total",
 		"Operation restarts after failed validation, across all op kinds.", m.stats.Restarts.Load)
@@ -34,6 +36,7 @@ func (m *Map[V]) initMetrics() {
 		opNav:    "sv_restarts_nav_total",
 		opRange:  "sv_restarts_range_total",
 		opBatch:  "sv_restarts_batch_total",
+		opSnap:   "sv_restarts_snapshot_total",
 	} {
 		r.CounterFunc(name, "Restarts charged to this operation kind.", m.restartsByOp[op].Load)
 	}
@@ -46,6 +49,21 @@ func (m *Map[V]) initMetrics() {
 	r.CounterFunc("sv_finger_hits_total", "Operations that resumed from the search finger.", m.fingerHits.load)
 	r.CounterFunc("sv_finger_misses_total", "Finger attempts that fell back to the full descent.", m.fingerMisses.load)
 	r.GaugeFunc("sv_len", "Current key count.", func() float64 { return float64(m.length.load()) })
+
+	r.CounterFunc("sv_snapshots_pinned_total", "Snapshots acquired.", m.snaps.pinnedTotal.Load)
+	r.CounterFunc("sv_snapshots_released_total", "Snapshots released via Close.", m.snaps.releasedTotal.Load)
+	r.CounterFunc("sv_snapshots_leaked_total",
+		"Snapshots reclaimed by a finalizer without ever being closed.", m.snaps.leaked.Load)
+	r.CounterFunc("sv_snapshot_cow_total",
+		"Pre-image records pushed into the version store by copy-on-write writes.", m.vstore.pushed.Load)
+	r.CounterFunc("sv_snapshot_cow_pruned_total",
+		"Pre-image records pruned once no pinned snapshot could see them.", m.vstore.pruned.Load)
+	r.GaugeFunc("sv_snapshots_active", "Snapshots currently pinned.",
+		func() float64 { return float64(m.snaps.count.Load()) })
+	r.GaugeFunc("sv_snapshot_records", "Pre-image records resident in the version store.",
+		func() float64 { return float64(m.vstore.resident()) })
+	r.GaugeFunc("sv_snapshot_epoch", "Current global write epoch.",
+		func() float64 { return float64(m.epoch.Load()) })
 
 	if d := m.mem.domain; d != nil {
 		r.CounterFunc("sv_hazard_retired_total", "Retire calls into the hazard domain.", d.RetiredTotal)

@@ -24,6 +24,24 @@ type node[V any] struct {
 	level int32
 	data  vectormap.Chunk[V]
 	index vectormap.Chunk[node[V]]
+
+	// verEpoch is the snapshot epoch at which the node's current data-layer
+	// contents were installed. It is only advanced by a writer holding the
+	// node's write lock, and only while at least one snapshot is pinned
+	// (m.snaps.active()); with no snapshots pinned writers leave it alone,
+	// which is sound because any later snapshot pins an epoch ≥ every epoch
+	// ever issued. A snapshot pinned at epoch s treats the node's live
+	// contents as visible iff verEpoch ≤ s; otherwise the pre-image record
+	// the advancing writer pushed into the version store covers the node.
+	// Meaningful only for data-layer nodes; index nodes never consult it.
+	verEpoch atomic.Uint64
+
+	// retireEpoch is a conservative upper bound on the epoch of the write
+	// that unlinked the node, stamped by retire. The hazard domain's recycle
+	// filter keeps a retired data node while any pinned snapshot's epoch is
+	// below this bound, so snapshot scans may still traverse its next
+	// pointer (see snapshot.go for the reachability argument).
+	retireEpoch atomic.Uint64
 }
 
 // isIndex reports whether the node belongs to an index layer.
@@ -122,6 +140,8 @@ func (m *memory[V]) allocRaw(level int) *node[V] {
 	} else {
 		m.reuses.Add(1)
 		n.next.Store(nil)
+		n.verEpoch.Store(0)
+		n.retireEpoch.Store(0)
 		if n.lock.IsOrphan() {
 			// Clear the stale orphan flag from the previous lifetime.
 			n.lock.Acquire()
@@ -188,6 +208,7 @@ type StatsSnapshot struct {
 	RestartsNav    int64 // Floor/Ceiling (and First/Last through them)
 	RestartsRange  int64 // range-window establishment
 	RestartsBatch  int64 // ApplyBatch group commits
+	RestartsSnap   int64 // snapshot point-read descents (snapshot scans cannot restart)
 	Splits         int64
 	Merges         int64
 	Orphans        int64
@@ -202,6 +223,13 @@ type StatsSnapshot struct {
 	Handles        int64 // hazard handles registered with the domain
 	FingerHits     int64 // operations that resumed from the search finger
 	FingerMisses   int64 // finger attempts that fell back to the full descent
+
+	SnapshotsPinned   int64 // snapshots acquired (monotonic)
+	SnapshotsReleased int64 // snapshots released via Close (monotonic; ≤ SnapshotsPinned)
+	SnapshotsActive   int64 // snapshots currently pinned
+	SnapshotCow       int64 // pre-image records pushed by copy-on-write writes
+	SnapshotCowPruned int64 // pre-image records pruned (≤ SnapshotCow)
+	SnapshotRecords   int64 // records resident in the version store (= Cow − Pruned at quiescence)
 }
 
 // Stats returns a snapshot of the map's internal counters.
@@ -214,6 +242,7 @@ func (m *Map[V]) Stats() StatsSnapshot {
 		RestartsNav:    m.restartsByOp[opNav].Load(),
 		RestartsRange:  m.restartsByOp[opRange].Load(),
 		RestartsBatch:  m.restartsByOp[opBatch].Load(),
+		RestartsSnap:   m.restartsByOp[opSnap].Load(),
 	}
 	s.Restarts = m.stats.Restarts.Load()
 	s.Splits = m.stats.Splits.Load()
@@ -224,6 +253,15 @@ func (m *Map[V]) Stats() StatsSnapshot {
 	s.Reuses = m.mem.reuses.Load()
 	s.FingerHits = m.fingerHits.load()
 	s.FingerMisses = m.fingerMisses.load()
+	// Released and Pruned load before Pinned and Cow respectively (a release
+	// is counted only after its pin; a prune only after its push), so
+	// Released ≤ Pinned and Pruned ≤ Cow hold in any snapshot.
+	s.SnapshotsReleased = m.snaps.releasedTotal.Load()
+	s.SnapshotsPinned = m.snaps.pinnedTotal.Load()
+	s.SnapshotsActive = m.snaps.count.Load()
+	s.SnapshotCowPruned = m.vstore.pruned.Load()
+	s.SnapshotCow = m.vstore.pushed.Load()
+	s.SnapshotRecords = int64(m.vstore.resident())
 	if d := m.mem.domain; d != nil {
 		// Reclaimed before RetiredTotal; see the type comment.
 		s.Reclaimed = d.RecycledCount()

@@ -101,18 +101,41 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 		}
 	}
 
-	// Apply phase: every element in [lo,hi] is covered by the window.
+	// Apply phase: every element in [lo,hi] is covered by the window. The
+	// copy-on-write decision is made once, at the first actual mutation, and
+	// one epoch covers every node the window modifies: all locks are held
+	// until the end (2PL), so either every modified node's pre-image is
+	// published under that single epoch, or none is and the whole range op
+	// is ordered before any snapshot pinned mid-window (snapshot.go). An
+	// unmodified node is released with its verEpoch untouched either way.
 	stopped := false
+	var cowEpoch uint64
+	cowDecided := false
+	notePre := func(n *node[V]) {
+		if !cowDecided {
+			cowDecided = true
+			cowEpoch = m.noteDataWrite(n)
+			return
+		}
+		if cowEpoch != 0 {
+			m.publishPreImage(n, cowEpoch)
+		}
+	}
 	for _, n := range locked {
 		if stopped {
 			break
 		}
+		noted := false
 		n.data.ForEachOrdered(func(k int64, v *V) bool {
 			if k < lo || k > hi {
 				return true
 			}
 			nv, cont := fn(k, v)
 			if mutate && nv != v {
+				if !noted {
+					noted = true
+					notePre(n)
+				}
 				n.data.Set(k, nv)
 			}
 			if !cont {

@@ -113,6 +113,7 @@ func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
 		curr.lock.Release()
 		curr = child
 	}
+	m.noteDataWrite(curr) // CoW pre-image before the first mutation (snapshot.go)
 	if _, found := curr.data.Remove(k); !found {
 		panic("core: data entry for indexed key missing under write lock")
 	}
@@ -139,6 +140,18 @@ func (m *Map[V]) removeFromDataLayer(
 	if hasMin && minK == k && !curr.lock.IsOrphan() {
 		curr.lock.Abort()
 		return false, false
+	}
+	// With snapshots pinned the pre-image must be published before the chunk
+	// changes, and only for a write that will actually change it: the
+	// absence path releases with Abort, which forbids any modification —
+	// including a verEpoch bump — so presence is settled first.
+	if m.snaps.count.Load() > 0 {
+		if !curr.data.Contains(k) {
+			m.recordFinger(ctx, curr, curr.lock.Abort())
+			ctx.dropAll()
+			return false, true
+		}
+		m.noteDataWrite(curr)
 	}
 	_, removed := curr.data.Remove(k)
 	if removed {

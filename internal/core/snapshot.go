@@ -1,0 +1,677 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"skipvector/internal/chaos"
+)
+
+// This file implements MVCC snapshots: Map.Snapshot() pins a point-in-time
+// view that supports Get/Contains/Range/Cursor without ever blocking writers
+// and — for scans — without ever restarting, no matter how much churn the
+// live structure sees. The design is copy-on-write at chunk granularity:
+//
+//   - A global epoch counter orders writes against snapshot acquisitions.
+//     While at least one snapshot is pinned, every data-layer write advances
+//     the epoch under its node's write lock; that Add is the write's
+//     linearization point relative to snapshots, because the held lock
+//     already fences every optimistic reader of the node.
+//
+//   - Each data node remembers verEpoch, the epoch at which its current
+//     contents were installed. Before the first mutation of a write that
+//     advanced the epoch to e, the writer publishes the node's pre-image
+//     (its full live content) into the version store as a record visible on
+//     the epoch interval [verEpoch, e), then stamps verEpoch = e. With no
+//     snapshots pinned, writers skip all of this: a later snapshot pins an
+//     epoch ≥ every epoch ever issued, so un-stamped nodes are trivially
+//     visible to it.
+//
+//   - The pin protocol closes the writer/snapshot race without making
+//     writers wait: Snapshot raises snaps.count before reading the epoch,
+//     and a writer consults snaps.count from inside its locked section. In
+//     the sequentially consistent total order over those two atomics, a
+//     writer that saw count == 0 precedes the pin's epoch read, so the pin's
+//     epoch covers the write and no pre-image was needed; a writer that saw
+//     count > 0 published the pre-image any pinned snapshot could require.
+//
+//   - Snapshot point reads ride the ordinary hazard-protected descent (they
+//     may restart, charged to opSnap); if the landing node's verEpoch is ≤
+//     the pinned epoch its live content answers, otherwise the version store
+//     does. The store, not the node, is consulted for misses because
+//     ownership of a key can move both left (splits) and right (min
+//     removals) of where the current routing lands.
+//
+//   - Snapshot scans walk the data layer hand-over-hand with no hazard
+//     pointers and no restarts: a torn node read retries the same node, and
+//     unlinked nodes remain safe to traverse because retirement is
+//     epoch-aware — the hazard domain's recycle filter refuses to recycle a
+//     data node while any pinned snapshot's epoch is below the node's
+//     retireEpoch. Any stale node a post-pin walker can reach was unlinked
+//     after the pin (unlink happens under locks the walker's validated reads
+//     respect, and stale next pointers only lead to nodes that were in the
+//     list at unlink time), so its retireEpoch exceeds the pinned epoch and
+//     the filter keeps it. Such nodes contribute nothing live to the scan —
+//     the write that unlinked them also advanced their verEpoch past the
+//     pinned epoch — and their content at the pinned epoch is covered by
+//     version-store records.
+
+// opSnap restarts are charged by snapshot point reads (descent retries).
+// Snapshot scans never restart by construction; they have no restart path.
+
+// verRecord is one copy-on-write pre-image: the full (sentinel-free,
+// ascending) content a data node held on the epoch interval
+// [installed, superseded). Records are immutable once inserted.
+type verRecord[V any] struct {
+	installed  uint64
+	superseded uint64
+	keys       []int64
+	vals       []*V
+}
+
+func (r *verRecord[V]) minKey() int64 { return r.keys[0] }
+func (r *verRecord[V]) maxKey() int64 { return r.keys[len(r.keys)-1] }
+
+// visibleAt reports whether the record is the version a snapshot pinned at
+// epoch s must read.
+func (r *verRecord[V]) visibleAt(s uint64) bool {
+	return r.installed <= s && s < r.superseded
+}
+
+// versionStore holds every published pre-image record, ordered by
+// (minKey, installed). The key invariant (proved by the unique-owner
+// argument in DESIGN.md §9): records visible at any single epoch have
+// pairwise disjoint key ranges, so a point lookup needs only the visible
+// record with the largest minKey ≤ k, and a scan can concatenate visible
+// records in minKey order.
+type versionStore[V any] struct {
+	mu   sync.RWMutex
+	recs []*verRecord[V]
+
+	// pushed/pruned are monotonic counters; resident records == pushed −
+	// pruned is the mass-conservation identity the invariant suite checks.
+	pushed atomic.Int64
+	pruned atomic.Int64
+}
+
+// insert adds a record, keeping the (minKey, installed) order. It returns
+// the resident record count after the insert (for the chain-length metric).
+func (vs *versionStore[V]) insert(r *verRecord[V]) int {
+	vs.mu.Lock()
+	i := sort.Search(len(vs.recs), func(i int) bool {
+		ri := vs.recs[i]
+		return ri.minKey() > r.minKey() ||
+			(ri.minKey() == r.minKey() && ri.installed >= r.installed)
+	})
+	vs.recs = append(vs.recs, nil)
+	copy(vs.recs[i+1:], vs.recs[i:])
+	vs.recs[i] = r
+	n := len(vs.recs)
+	vs.mu.Unlock()
+	vs.pushed.Add(1)
+	return n
+}
+
+// get resolves key k at epoch s from the store. Scanning left from the
+// insertion point for k, the first record visible at s is the unique
+// visible record whose range can contain k.
+func (vs *versionStore[V]) get(s uint64, k int64) (*V, bool) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	i := sort.Search(len(vs.recs), func(i int) bool { return vs.recs[i].minKey() > k })
+	for i--; i >= 0; i-- {
+		r := vs.recs[i]
+		if !r.visibleAt(s) {
+			continue
+		}
+		if r.maxKey() < k {
+			return nil, false
+		}
+		j := sort.Search(len(r.keys), func(j int) bool { return r.keys[j] >= k })
+		if j < len(r.keys) && r.keys[j] == k {
+			return r.vals[j], true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// collect appends (into out, reused) the records visible at s whose key
+// ranges intersect [lo, hi], in minKey order. The returned records are
+// immutable and safe to read after the lock is dropped.
+func (vs *versionStore[V]) collect(s uint64, lo, hi int64, out []*verRecord[V]) []*verRecord[V] {
+	out = out[:0]
+	vs.mu.RLock()
+	for _, r := range vs.recs {
+		if r.minKey() > hi {
+			break
+		}
+		if r.maxKey() >= lo && r.visibleAt(s) {
+			out = append(out, r)
+		}
+	}
+	vs.mu.RUnlock()
+	return out
+}
+
+// resident returns the number of records currently in the store.
+func (vs *versionStore[V]) resident() int {
+	vs.mu.RLock()
+	n := len(vs.recs)
+	vs.mu.RUnlock()
+	return n
+}
+
+// prune drops every record no pinned snapshot can see. A record is garbage
+// once its superseded epoch is ≤ the minimum pinned epoch (new pins always
+// acquire an epoch ≥ every issued epoch, so they can never need it either).
+// Returns the number of records dropped.
+func (vs *versionStore[V]) prune(minPinned uint64, anyPinned bool) int {
+	vs.mu.Lock()
+	kept := vs.recs[:0]
+	for _, r := range vs.recs {
+		if !anyPinned || r.superseded <= minPinned {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	dropped := len(vs.recs) - len(kept)
+	for i := len(kept); i < len(vs.recs); i++ {
+		vs.recs[i] = nil
+	}
+	vs.recs = kept
+	vs.mu.Unlock()
+	vs.pruned.Add(int64(dropped))
+	return dropped
+}
+
+// snapRegistry tracks pinned snapshots. count is the only field touched by
+// writers' fast path (one shared read-only load per data write when no
+// snapshot is pinned); everything else is mutex-protected cold state.
+type snapRegistry struct {
+	count atomic.Int64 // pinned snapshots, readable without the mutex
+
+	mu     sync.Mutex
+	pinned map[uint64]int // pinned epoch → snapshots pinned at it
+
+	pinnedTotal   atomic.Int64
+	releasedTotal atomic.Int64
+	leaked        atomic.Int64 // snapshots reclaimed by a finalizer, never Closed
+}
+
+// minPinnedLocked returns the smallest pinned epoch. Caller holds mu.
+func (r *snapRegistry) minPinnedLocked() (uint64, bool) {
+	var mp uint64
+	any := false
+	for e := range r.pinned {
+		if !any || e < mp {
+			mp, any = e, true
+		}
+	}
+	return mp, any
+}
+
+// Snapshot is an immutable point-in-time view of the map, pinned at a single
+// epoch. It is safe for concurrent use by multiple goroutines. Close must be
+// called to release the pin: a pinned snapshot retains every pre-image
+// record and retired node it might still read. Using a snapshot after Close
+// panics; Close itself is idempotent.
+type Snapshot[V any] struct {
+	m        *Map[V]
+	epoch    uint64
+	released atomic.Bool
+}
+
+// Snapshot pins the map's current state and returns a read-only view of it.
+// Acquisition is linearizable and wait-free apart from one mutex-protected
+// registry update: the snapshot's state is the map's state at the moment the
+// epoch was read, and every write that linearizes later is invisible to it.
+func (m *Map[V]) Snapshot() *Snapshot[V] {
+	r := &m.snaps
+	r.mu.Lock()
+	// count must rise before the epoch is read: a writer that observes
+	// count == 0 is thereby ordered before this epoch read, so the pinned
+	// epoch covers its write and no pre-image is required from it.
+	r.count.Add(1)
+	s := m.epoch.Load()
+	if r.pinned == nil {
+		r.pinned = make(map[uint64]int)
+	}
+	r.pinned[s]++
+	r.pinnedTotal.Add(1)
+	r.mu.Unlock()
+	// A fresh pin has the maximal epoch, so it cannot resurrect records an
+	// earlier prune dropped; pruning here only clears leftovers from eras
+	// with no pinned snapshots.
+	m.pruneVersions()
+	return &Snapshot[V]{m: m, epoch: s}
+}
+
+// Epoch returns the epoch the snapshot is pinned at (diagnostics/tests).
+func (s *Snapshot[V]) Epoch() uint64 { return s.epoch }
+
+// Closed reports whether the snapshot has been released.
+func (s *Snapshot[V]) Closed() bool { return s.released.Load() }
+
+// Close releases the pin, allowing pre-image records and retired nodes the
+// snapshot was holding to be reclaimed. Idempotent.
+func (s *Snapshot[V]) Close() {
+	if s.released.Swap(true) {
+		return
+	}
+	r := &s.m.snaps
+	r.mu.Lock()
+	r.pinned[s.epoch]--
+	if r.pinned[s.epoch] <= 0 {
+		delete(r.pinned, s.epoch)
+	}
+	r.count.Add(-1)
+	r.releasedTotal.Add(1)
+	r.mu.Unlock()
+	s.m.pruneVersions()
+}
+
+// MarkLeaked records a snapshot that was garbage-collected without Close
+// (invoked by the facade's finalizer) and then releases it.
+func (s *Snapshot[V]) MarkLeaked() {
+	if !s.released.Load() {
+		s.m.snaps.leaked.Add(1)
+		s.Close()
+	}
+}
+
+func (s *Snapshot[V]) check() {
+	if s.released.Load() {
+		panic("core: use of closed snapshot")
+	}
+}
+
+// pruneVersions drops unreachable pre-image records under the registry's
+// current pin set.
+func (m *Map[V]) pruneVersions() {
+	r := &m.snaps
+	r.mu.Lock()
+	mp, any := r.minPinnedLocked()
+	r.mu.Unlock()
+	m.vstore.prune(mp, any)
+}
+
+// snapshotsPermitRecycle is the hazard domain's recycle filter: a retired
+// data node must outlive every pinned snapshot whose epoch precedes the
+// node's unlink, because a snapshot scan may still traverse its next
+// pointer. Index nodes are never touched by unprotected snapshot reads and
+// are always recyclable.
+func (m *Map[V]) snapshotsPermitRecycle(n *node[V]) bool {
+	if n.level != 0 {
+		return true
+	}
+	r := &m.snaps
+	if r.count.Load() == 0 {
+		return true
+	}
+	r.mu.Lock()
+	mp, any := r.minPinnedLocked()
+	r.mu.Unlock()
+	return !any || mp >= n.retireEpoch.Load()
+}
+
+// noteDataWrite is the copy-on-write hook, called by every data-layer write
+// with the node's write lock held and no mutation performed yet. With no
+// snapshot pinned it is a single shared atomic load. Otherwise it advances
+// the epoch (the write's linearization point relative to snapshots),
+// publishes the node's pre-image, and stamps the node's verEpoch. It
+// returns the epoch it issued (0 when no snapshot was pinned) so callers
+// that create sibling nodes inside the same locked section can stamp them.
+func (m *Map[V]) noteDataWrite(n *node[V]) uint64 {
+	if m.snaps.count.Load() == 0 {
+		return 0
+	}
+	e := m.epoch.Add(1)
+	m.publishPreImage(n, e)
+	return e
+}
+
+// noteDataWrite2 is noteDataWrite for a write that mutates two nodes under
+// one pair of held locks (an orphan merge): both pre-images share a single
+// linearization epoch.
+func (m *Map[V]) noteDataWrite2(a, b *node[V]) uint64 {
+	if m.snaps.count.Load() == 0 {
+		return 0
+	}
+	e := m.epoch.Add(1)
+	m.publishPreImage(a, e)
+	m.publishPreImage(b, e)
+	return e
+}
+
+// publishPreImage copies n's current live content into the version store as
+// the record for epochs [n.verEpoch, e), then installs verEpoch = e. The
+// caller holds n's write lock and has not mutated the chunk yet, so the copy
+// is exact; snapshot readers cannot observe the intermediate states because
+// the held lock blocks their validation until release, by which point both
+// the record and the new verEpoch are in place.
+func (m *Map[V]) publishPreImage(n *node[V], e uint64) {
+	old := n.verEpoch.Load()
+	n.verEpoch.Store(e)
+	sz := n.data.Size()
+	if sz == 0 {
+		return
+	}
+	keys := make([]int64, 0, sz)
+	vals := make([]*V, 0, sz)
+	n.data.ForEachOrdered(func(k int64, v *V) bool {
+		if k != MinKey && k != MaxKey {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		return true
+	})
+	if len(keys) == 0 {
+		return
+	}
+	// Stretch the publication window (epoch advanced, record not yet
+	// visible); safe because the node lock is held throughout.
+	chaos.Step(chaos.CoreSnapshot)
+	chain := m.vstore.insert(&verRecord[V]{
+		installed: old, superseded: e, keys: keys, vals: vals,
+	})
+	m.snapChainLen.Observe(int(e), int64(chain))
+}
+
+// inheritVerEpoch stamps a freshly linked data node created from src's
+// content inside src's locked section (splits). The child shares src's
+// version: its content was part of src's at every epoch src's current
+// verEpoch covers.
+func inheritVerEpoch[V any](src, dst *node[V]) {
+	if src.level == 0 {
+		dst.verEpoch.Store(src.verEpoch.Load())
+	}
+}
+
+// Get returns the value bound to k at the snapshot's epoch.
+func (s *Snapshot[V]) Get(k int64) (*V, bool) {
+	s.check()
+	checkKey(k)
+	m := s.m
+	ctx := m.ctxs.get()
+	defer m.ctxs.put(ctx)
+	for {
+		curr, ver, ok := m.descendToData(ctx, k, modeRead)
+		if !ok {
+			m.restart(ctx, opSnap)
+			continue
+		}
+		ve := curr.verEpoch.Load()
+		v, found := curr.data.Get(k)
+		if !curr.lock.Validate(ver) {
+			m.restart(ctx, opSnap)
+			continue
+		}
+		ctx.dropAll()
+		if ve <= s.epoch && found {
+			// The node is unchanged since before the pin, and in-chunk
+			// membership implies current ownership of k, so this is the
+			// pinned version of k.
+			return v, true
+		}
+		// Either the node moved past the pin (its pinned content is in the
+		// store) or k is absent from its unchanged owner — in which case k
+		// may still exist at the pinned epoch under a node that has since
+		// changed (ownership moves across splits/merges/min-removals), which
+		// the store also answers.
+		return s.m.vstore.get(s.epoch, k)
+	}
+}
+
+// Contains reports whether k was present at the snapshot's epoch.
+func (s *Snapshot[V]) Contains(k int64) bool {
+	_, ok := s.Get(k)
+	return ok
+}
+
+// Range calls fn in ascending key order for every pair with lo ≤ k ≤ hi at
+// the snapshot's epoch. fn returning false stops the iteration. The scan
+// never restarts and never blocks writers.
+func (s *Snapshot[V]) Range(lo, hi int64, fn func(k int64, v *V) bool) {
+	s.check()
+	checkKey(lo)
+	checkKey(hi)
+	if lo > hi {
+		return
+	}
+	w := s.newWalker(lo, hi)
+	for w.step() {
+		for i := range w.outK {
+			if !fn(w.outK[i], w.outV[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Ascend calls fn for every pair in the snapshot in ascending key order.
+func (s *Snapshot[V]) Ascend(fn func(k int64, v *V) bool) {
+	s.check()
+	w := s.newWalker(MinKey+1, MaxKey-1)
+	for w.step() {
+		for i := range w.outK {
+			if !fn(w.outK[i], w.outV[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Len counts the snapshot's pairs with a full scan.
+func (s *Snapshot[V]) Len() int {
+	n := 0
+	s.Ascend(func(int64, *V) bool { n++; return true })
+	return n
+}
+
+// Cursor returns an iterator over the snapshot's pairs with keys ≥ start,
+// in ascending order. Next is amortized O(1); the cursor holds no locks and
+// never restarts. The cursor borrows the snapshot: it must not be used
+// after the snapshot is closed.
+func (s *Snapshot[V]) Cursor(start int64) *SnapCursor[V] {
+	s.check()
+	checkKey(start)
+	return &SnapCursor[V]{w: s.newWalker(start, MaxKey-1)}
+}
+
+// SnapCursor iterates a pinned snapshot. Not safe for concurrent use.
+type SnapCursor[V any] struct {
+	w *snapWalker[V]
+	i int
+}
+
+// Next returns the next pair, or ok=false when the scan is exhausted.
+func (c *SnapCursor[V]) Next() (int64, *V, bool) {
+	c.w.s.check()
+	for c.i >= len(c.w.outK) {
+		if !c.w.step() {
+			return 0, nil, false
+		}
+		c.i = 0
+	}
+	k, v := c.w.outK[c.i], c.w.outV[c.i]
+	c.i++
+	return k, v, true
+}
+
+// snapWalker is the restart-free scan engine shared by Range, Ascend and
+// SnapCursor. It walks the data layer hand-over-hand; for every visited node
+// whose live content is visible at the pinned epoch it merges that content
+// with the version-store records covering the same key window, emitting each
+// key exactly once in ascending order. Nodes whose content moved past the
+// pin contribute nothing live — the records that cover them are flushed as
+// later windows open (or at the tail).
+type snapWalker[V any] struct {
+	s        *Snapshot[V]
+	n        *node[V]
+	pos      int64 // next key to emit is ≥ pos
+	hi       int64 // inclusive upper bound of the scan
+	finished bool
+
+	// scratch reused across node visits
+	liveK []int64
+	liveV []*V
+	recs  []*verRecord[V]
+	next  *node[V]
+	qual  bool
+
+	// output of the last successful step
+	outK []int64
+	outV []*V
+}
+
+// newWalker seeks the data node owning lo via the ordinary hazard-protected
+// descent and positions a walker there. The descent may restart (charged to
+// opSnap); everything after it is restart-free. Dropping the hazard pointers
+// before walking is safe: any node the walker can reach that is later
+// unlinked was unlinked after the pin, so the epoch-aware recycle filter
+// keeps it until the snapshot closes (in leak mode the collector does).
+func (s *Snapshot[V]) newWalker(lo, hi int64) *snapWalker[V] {
+	m := s.m
+	ctx := m.ctxs.get()
+	var start *node[V]
+	for {
+		n, _, ok := m.descendToData(ctx, lo, modeRead)
+		if !ok {
+			m.restart(ctx, opSnap)
+			continue
+		}
+		start = n
+		ctx.dropAll()
+		break
+	}
+	m.ctxs.put(ctx)
+	return &snapWalker[V]{s: s, n: start, pos: lo, hi: hi}
+}
+
+// readNode copies the walker's current node under seqlock validation: its
+// sentinel-free live content (only when visible at the pinned epoch), its
+// next pointer, and whether it qualified. A torn read retries the same node
+// — never the scan.
+func (w *snapWalker[V]) readNode() {
+	n := w.n
+	for {
+		if chaos.Fail(chaos.CoreSnapshot) {
+			// Simulate a torn read; the retry stays on this node.
+			runtime.Gosched()
+			continue
+		}
+		w.liveK, w.liveV = w.liveK[:0], w.liveV[:0]
+		ver, ok := n.lock.ReadVersion()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		qual := n.verEpoch.Load() <= w.s.epoch
+		if qual {
+			n.data.ForEachOrdered(func(k int64, v *V) bool {
+				if k != MinKey && k != MaxKey {
+					w.liveK = append(w.liveK, k)
+					w.liveV = append(w.liveV, v)
+				}
+				return true
+			})
+		}
+		w.next = n.next.Load()
+		if n.lock.Validate(ver) {
+			w.qual = qual
+			return
+		}
+	}
+}
+
+// step advances the walk until it has produced at least one pair (in
+// outK/outV) or exhausted the scan. It returns false when no output remains.
+func (w *snapWalker[V]) step() bool {
+	w.outK, w.outV = w.outK[:0], w.outV[:0]
+	for !w.finished {
+		if w.pos > w.hi {
+			w.finished = true
+			break
+		}
+		w.readNode()
+		if w.next == nil {
+			// Tail sentinel: flush the remaining records and finish.
+			w.emitWindow(w.hi, nil, nil)
+			w.finished = true
+			break
+		}
+		if w.qual && len(w.liveK) > 0 {
+			u := w.liveK[len(w.liveK)-1]
+			if u >= w.pos {
+				w.emitWindow(u, w.liveK, w.liveV)
+			}
+		}
+		w.n = w.next
+		if len(w.outK) > 0 {
+			return true
+		}
+	}
+	return len(w.outK) > 0
+}
+
+// emitWindow merges the version-store records visible on [pos, u] with the
+// live pairs of the current node into outK/outV, in ascending key order,
+// then advances pos past the window. Records visible at one epoch have
+// disjoint ranges; the only possible duplicate is a record that is the
+// pre-image of the very content just read live (pushed between our read and
+// this query), and since the copies are identical the live pair wins.
+func (w *snapWalker[V]) emitWindow(u int64, liveK []int64, liveV []*V) {
+	if u > w.hi {
+		u = w.hi
+	}
+	if u < w.pos {
+		return
+	}
+	w.recs = w.s.m.vstore.collect(w.s.epoch, w.pos, u, w.recs)
+	li := 0
+	for li < len(liveK) && liveK[li] < w.pos {
+		li++
+	}
+	for _, r := range w.recs {
+		for j, k := range r.keys {
+			if k < w.pos {
+				continue
+			}
+			if k > u {
+				break
+			}
+			for li < len(liveK) && liveK[li] < k {
+				if liveK[li] <= u {
+					w.outK = append(w.outK, liveK[li])
+					w.outV = append(w.outV, liveV[li])
+				}
+				li++
+			}
+			if li < len(liveK) && liveK[li] == k {
+				continue // identical duplicate; live copy already emitted next
+			}
+			w.outK = append(w.outK, k)
+			w.outV = append(w.outV, r.vals[j])
+		}
+	}
+	for ; li < len(liveK) && liveK[li] <= u; li++ {
+		w.outK = append(w.outK, liveK[li])
+		w.outV = append(w.outV, liveV[li])
+	}
+	w.pos = u + 1
+}
+
+// SnapshotDebugString summarizes snapshot-subsystem state for tests.
+func (m *Map[V]) SnapshotDebugString() string {
+	r := &m.snaps
+	r.mu.Lock()
+	mp, any := r.minPinnedLocked()
+	n := r.count.Load()
+	r.mu.Unlock()
+	return fmt.Sprintf("snapshots=%d minPinned=%d(any=%t) records=%d epoch=%d",
+		n, mp, any, m.vstore.resident(), m.epoch.Load())
+}

@@ -32,6 +32,12 @@ type invariantExpect struct {
 	// workload collected from ApplyBatch calls with telemetry enabled
 	// throughout: the batch-size histogram's mass must equal it.
 	batchOps int64
+	// snapshotsClosed asserts the workload closed every snapshot it pinned:
+	// no snapshot may remain active and the version store must have pruned
+	// to empty. This is the check the suppressed-release teeth test trips.
+	snapshotsClosed bool
+	// minSnapshots is a lower bound on snapshots pinned during the run.
+	minSnapshots int64
 }
 
 // verifyMetricInvariants asserts the paper-level accounting identities over a
@@ -58,8 +64,13 @@ func verifyMetricInvariants(m *Map[int64], exp invariantExpect) error {
 	// reaches ScanThreshold, and a scan leaves at most one node per published
 	// hazard slot behind, so neither the pending total nor the per-handle
 	// high-water mark may exceed ScanThreshold + handles × SlotsPerHandle
-	// (per handle for the HWM, × handles for the total).
-	if s.Handles > 0 {
+	// (per handle for the HWM, × handles for the total). The bound does not
+	// apply while a snapshot is pinned: the epoch-aware recycle filter holds
+	// every post-pin-retired data chunk regardless of hazard slots, which is
+	// the documented price of a pinned snapshot, not a reclamation bug. (The
+	// sticky RetireHWM can also record such an era; callers reset it along
+	// with the pin, as the teeth tests do.)
+	if s.Handles > 0 && s.SnapshotsActive == 0 {
 		perHandle := int64(hazard.ScanThreshold + s.Handles*hazard.SlotsPerHandle)
 		if s.Retired > s.Handles*perHandle {
 			return fmt.Errorf("pending garbage %d exceeds precise-reclamation bound %d (%d handles)",
@@ -72,9 +83,46 @@ func verifyMetricInvariants(m *Map[int64], exp invariantExpect) error {
 	}
 
 	// Restart accounting: every restart is charged to exactly one op kind.
-	kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange + s.RestartsBatch
+	// opSnap joined the partition with MVCC snapshots (point-read descents;
+	// snapshot scans have no restart path at all).
+	kinds := s.RestartsLookup + s.RestartsInsert + s.RestartsRemove + s.RestartsNav + s.RestartsRange + s.RestartsBatch + s.RestartsSnap
 	if kinds != s.Restarts {
 		return fmt.Errorf("per-kind restarts sum to %d but total is %d", kinds, s.Restarts)
+	}
+
+	// Snapshot accounting. Release conservation: a snapshot releases at most
+	// once (Close is idempotent via a swap), so released never exceeds pinned
+	// and the active gauge is exactly the difference at quiescence. Version
+	// mass conservation: every pre-image record the store ever admitted was
+	// counted by exactly one push and leaves through exactly one prune, so
+	// the resident count is the difference of the two monotone totals. (The
+	// tempting "CoW copies ≤ freezes" does NOT hold in general — Remove,
+	// merges, and range updates publish pre-images without freezing — so the
+	// suite asserts the conservation identities instead.)
+	if s.SnapshotsReleased > s.SnapshotsPinned {
+		return fmt.Errorf("snapshots released %d > pinned %d", s.SnapshotsReleased, s.SnapshotsPinned)
+	}
+	if s.SnapshotsActive != s.SnapshotsPinned-s.SnapshotsReleased {
+		return fmt.Errorf("active snapshots %d ≠ pinned %d − released %d",
+			s.SnapshotsActive, s.SnapshotsPinned, s.SnapshotsReleased)
+	}
+	if s.SnapshotCowPruned > s.SnapshotCow {
+		return fmt.Errorf("pruned records %d > pushed records %d", s.SnapshotCowPruned, s.SnapshotCow)
+	}
+	if s.SnapshotRecords != s.SnapshotCow-s.SnapshotCowPruned {
+		return fmt.Errorf("resident records %d ≠ pushed %d − pruned %d: version mass not conserved",
+			s.SnapshotRecords, s.SnapshotCow, s.SnapshotCowPruned)
+	}
+	if s.SnapshotsPinned < exp.minSnapshots {
+		return fmt.Errorf("snapshots pinned %d < expected minimum %d", s.SnapshotsPinned, exp.minSnapshots)
+	}
+	if exp.snapshotsClosed {
+		if s.SnapshotsActive != 0 {
+			return fmt.Errorf("%d snapshots still pinned at quiescence", s.SnapshotsActive)
+		}
+		if s.SnapshotRecords != 0 {
+			return fmt.Errorf("version store holds %d records with no snapshot pinned", s.SnapshotRecords)
+		}
 	}
 
 	// Batch accounting: commit units partition batches. Every op of a recorded
@@ -160,7 +208,7 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 				opsPerG = 800
 			}
 			m := newTestMap(t, cfg)
-			var inserts, batchOps atomic.Int64
+			var inserts, batchOps, snapsTaken atomic.Int64
 
 			seed := uint64(0x7e1e + len(name))
 			chaos.Enable(stressChaosConfig(seed))
@@ -173,6 +221,16 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(g) + 7))
 					for i := 0; i < opsPerG; i++ {
 						k := base + int64(rng.Intn(512))
+						if i%250 == 249 {
+							// Pin, scan, point-read, close: exercises the CoW
+							// push/prune counters and the opSnap restart lane.
+							s := m.Snapshot()
+							s.Range(k, k+128, func(int64, *int64) bool { return true })
+							s.Contains(k)
+							s.Close()
+							snapsTaken.Add(1)
+							continue
+						}
 						switch rng.Intn(9) {
 						case 0, 1, 2:
 							v := int64(i)
@@ -218,11 +276,13 @@ func TestMetricInvariantsAfterChaosStress(t *testing.T) {
 			}
 
 			exp := invariantExpect{
-				minFreezes:    inserts.Load(),
-				occLo:         float64(cfg.TargetDataVectorSize) / 2,
-				occHi:         2 * float64(cfg.TargetDataVectorSize),
-				minDataChunks: 4,
-				batchOps:      batchOps.Load(),
+				minFreezes:      inserts.Load(),
+				occLo:           float64(cfg.TargetDataVectorSize) / 2,
+				occHi:           2 * float64(cfg.TargetDataVectorSize),
+				minDataChunks:   4,
+				batchOps:        batchOps.Load(),
+				snapshotsClosed: true,
+				minSnapshots:    snapsTaken.Load(),
 			}
 			if err := verifyMetricInvariants(m, exp); err != nil {
 				t.Fatalf("metric invariants violated after stress: %v\nstats: %+v", err, m.Stats())
@@ -307,6 +367,83 @@ func TestInvariantSuiteDetectsSuppressedReclaim(t *testing.T) {
 	}
 	if s = m.Stats(); s.Retired != 0 {
 		t.Fatalf("flush after unsuppression left %d nodes pending", s.Retired)
+	}
+	mustCheck(t, m)
+}
+
+// TestInvariantSuiteDetectsSuppressedSnapshotRelease is the snapshot teeth
+// test: a chaos-churned run that pins snapshots and deliberately never closes
+// one must fail the quiescent snapshot checks (an active pin, a non-empty
+// version store, and retired chunks the epoch filter refuses to recycle).
+// Closing the pin and flushing must restore a passing state.
+func TestInvariantSuiteDetectsSuppressedSnapshotRelease(t *testing.T) {
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	cfg := testConfigs()["tiny-chunks"]
+	m := newTestMap(t, cfg)
+	for k := int64(0); k < 256; k++ {
+		m.Insert(k, v64(k))
+	}
+
+	chaos.Enable(stressChaosConfig(0x5a7e9))
+	leakedPin := m.Snapshot() // the suppressed release
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 3))
+			for i := 0; i < 1500; i++ {
+				k := int64(rng.Intn(512))
+				switch rng.Intn(4) {
+				case 0:
+					m.Remove(k)
+				case 1:
+					m.Upsert(k, v64(int64(i)))
+				case 2:
+					s := m.Snapshot() // well-behaved pins, properly closed
+					s.Contains(k)
+					s.Close()
+				default:
+					m.Insert(k, v64(int64(i)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := chaos.Disable()
+	if rep.Fails() == 0 {
+		t.Fatalf("chaos injected nothing: %v", rep)
+	}
+
+	m.FlushRetired()
+	st := m.Stats()
+	if st.SnapshotRecords == 0 {
+		t.Fatal("churn under the leaked pin published no pre-images; suppression cannot be observed")
+	}
+	if st.Retired == 0 {
+		t.Fatal("no retired chunks held by the leaked pin; suppression cannot be observed")
+	}
+	err := verifyMetricInvariants(m, invariantExpect{snapshotsClosed: true})
+	if err == nil {
+		t.Fatalf("invariant suite passed despite an unreleased snapshot (active=%d records=%d)",
+			st.SnapshotsActive, st.SnapshotRecords)
+	}
+	t.Logf("suite correctly rejected suppressed snapshot release: %v", err)
+
+	// Lift the fault: close the pin, flush, and everything must recover. The
+	// retire-list high-water mark is sticky and still records the pinned-era
+	// pile-up, so it is reset along with the fault that caused it.
+	leakedPin.Close()
+	m.FlushRetired()
+	m.mem.domain.ResetRetireHWM()
+	if err := verifyMetricInvariants(m, invariantExpect{snapshotsClosed: true}); err != nil {
+		t.Fatalf("invariants still failing after the pin was released: %v", err)
+	}
+	if st = m.Stats(); st.Retired != 0 {
+		t.Fatalf("flush after release left %d nodes pending", st.Retired)
 	}
 	mustCheck(t, m)
 }

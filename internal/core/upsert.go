@@ -48,6 +48,17 @@ func (m *Map[V]) setOnce(ctx *opCtx[V], k int64, v *V) (updated, done bool) {
 		return false, false
 	}
 	ctx.drop(curr)
+	// As in removeFromDataLayer: with snapshots pinned, settle presence
+	// before publishing the pre-image, because the absence path must leave
+	// the node (and its verEpoch) untouched for Abort.
+	if m.snaps.count.Load() > 0 {
+		if !curr.data.Contains(k) {
+			m.recordFinger(ctx, curr, curr.lock.Abort())
+			ctx.dropAll()
+			return false, true
+		}
+		m.noteDataWrite(curr)
+	}
 	if curr.data.Set(k, v) {
 		fver := curr.lock.Release()
 		m.recordFinger(ctx, curr, fver)

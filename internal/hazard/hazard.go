@@ -78,6 +78,17 @@ type Domain[T any] struct {
 	// so retired nodes are never recycled. The invariant suite uses it to
 	// prove its reclamation assertions detect a broken scan.
 	suppressReclaim atomic.Bool
+
+	// recycleFilter, when installed, is consulted by scans for every retired
+	// node that no hazard pointer protects: returning false keeps the node on
+	// the retired list for a later scan. It extends the reclamation condition
+	// from "no hazard pointer" to "no hazard pointer AND the filter agrees",
+	// which is how MVCC snapshots pin retired pre-image nodes past their
+	// unlink (epoch-aware reclamation): the filter holds back any node whose
+	// retire epoch a pinned snapshot can still see. The filter must be
+	// monotone per node — once it returns true for a node it must keep doing
+	// so — since a node it releases may be recycled immediately.
+	recycleFilter atomic.Pointer[func(*T) bool]
 }
 
 // NewDomain creates a hazard-pointer domain. recycle, if non-nil, is invoked
@@ -141,6 +152,20 @@ func (d *Domain[T]) RetireHWM() int64 { return d.retireHWM.Load() }
 // nothing is ever recycled — deliberately violating the precise-reclamation
 // bound so tests can confirm their assertions notice.
 func (d *Domain[T]) SetReclaimSuppressed(on bool) { d.suppressReclaim.Store(on) }
+
+// SetRecycleFilter installs (or, with nil, removes) the epoch-aware
+// reclamation filter; see the field comment for the contract. Installation
+// is not synchronized against in-flight scans: a scan that already read the
+// previous filter may recycle a node the new filter would have kept, so the
+// filter must be installed before any node it needs to protect is retired
+// (the skip vector installs it at construction time).
+func (d *Domain[T]) SetRecycleFilter(f func(*T) bool) {
+	if f == nil {
+		d.recycleFilter.Store(nil)
+		return
+	}
+	d.recycleFilter.Store(&f)
+}
 
 // ResetRetireHWM clears the retire-list high-water mark. The mark is sticky
 // by design (a transient pile-up should stay visible); resetting it is for
@@ -219,9 +244,17 @@ func (h *Handle[T]) scan() {
 	// missed; the protocol tolerates it because such a node was already
 	// unreachable when it was retired.
 	chaos.Step(chaos.HazardScan)
+	var filter func(*T) bool
+	if fp := h.domain.recycleFilter.Load(); fp != nil {
+		filter = *fp
+	}
 	keep := h.retired[:0]
 	for _, p := range h.retired {
 		if _, live := protected[p]; live {
+			keep = append(keep, p)
+			continue
+		}
+		if filter != nil && !filter(p) {
 			keep = append(keep, p)
 			continue
 		}

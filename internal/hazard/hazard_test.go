@@ -205,3 +205,82 @@ func TestConcurrentProtectRetire(t *testing.T) {
 		t.Fatalf("%d protected nodes were recycled", v)
 	}
 }
+
+func TestRecycleFilterHoldsNodes(t *testing.T) {
+	var recycled []*nodeT
+	d := NewDomain(func(n *nodeT) { recycled = append(recycled, n) })
+	h := d.NewHandle()
+
+	// The filter rejects odd ids — they must survive every scan, unprotected,
+	// until the filter releases them.
+	var release atomic.Bool
+	d.SetRecycleFilter(func(n *nodeT) bool { return n.id%2 == 0 || release.Load() })
+
+	nodes := make([]*nodeT, 2*ScanThreshold)
+	for i := range nodes {
+		nodes[i] = &nodeT{id: i}
+		h.Retire(nodes[i])
+	}
+	h.Flush()
+	for _, n := range recycled {
+		if n.id%2 == 1 {
+			t.Fatalf("filter-held node %d recycled", n.id)
+		}
+	}
+	// Every even node was reclaimable and no hazard pointer was published, so
+	// pending garbage is exactly the held half.
+	if got := d.RetiredCount(); got != int64(len(nodes)/2) {
+		t.Fatalf("RetiredCount = %d, want %d held nodes", got, len(nodes)/2)
+	}
+
+	// Filter releases (monotone flip): a flush drains everything.
+	release.Store(true)
+	h.Flush()
+	if got := d.RetiredCount(); got != 0 {
+		t.Fatalf("RetiredCount = %d after filter release", got)
+	}
+	if len(recycled) != len(nodes) {
+		t.Fatalf("recycled %d of %d after release", len(recycled), len(nodes))
+	}
+}
+
+func TestRecycleFilterComposesWithProtection(t *testing.T) {
+	// A node both hazard-protected and filter-held must stay pending until
+	// BOTH clear, in either order.
+	for _, order := range []string{"protection-first", "filter-first"} {
+		var recycled []*nodeT
+		d := NewDomain(func(n *nodeT) { recycled = append(recycled, n) })
+		owner := d.NewHandle()
+		reader := d.NewHandle()
+
+		var release atomic.Bool
+		victim := &nodeT{id: 1}
+		d.SetRecycleFilter(func(n *nodeT) bool { return n != victim || release.Load() })
+		reader.Protect(0, victim)
+		owner.Retire(victim)
+
+		owner.Flush()
+		if d.RetiredCount() != 1 {
+			t.Fatalf("%s: victim not pending after first flush", order)
+		}
+		if order == "protection-first" {
+			reader.Clear(0)
+		} else {
+			release.Store(true)
+		}
+		owner.Flush()
+		if d.RetiredCount() != 1 {
+			t.Fatalf("%s: victim reclaimed with one guard still up", order)
+		}
+		if order == "protection-first" {
+			release.Store(true)
+		} else {
+			reader.Clear(0)
+		}
+		owner.Flush()
+		if d.RetiredCount() != 0 || len(recycled) != 1 || recycled[0] != victim {
+			t.Fatalf("%s: victim not reclaimed after both guards dropped (pending=%d)",
+				order, d.RetiredCount())
+		}
+	}
+}

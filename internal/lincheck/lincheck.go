@@ -37,6 +37,15 @@ const (
 	// commit order); every item's recorded Outcome must match what the
 	// sequential model produces at the batch's linearization point.
 	KindBatch
+	// KindSnapshot is a snapshot acquisition whose content was observed by
+	// iterating the pinned view over [Key,Hi]. The acquisition linearizes at
+	// a single point inside [Invoke,Return] — even though the iteration that
+	// produced Pairs may have run long after Return, concurrent with
+	// arbitrary later writes — so Pairs must equal the model state's
+	// restriction to the window at that point, exactly and in ascending key
+	// order. Validation is identical to KindRangeQuery; the difference is
+	// operational (the interval covers only Snapshot(), not the reads).
+	KindSnapshot
 )
 
 func (k Kind) String() string {
@@ -53,6 +62,8 @@ func (k Kind) String() string {
 		return "rangeupdate"
 	case KindBatch:
 		return "batch"
+	case KindSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -146,6 +157,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("P%d rangeupdate[%d,%d]+=%d visited %d @[%d,%d]", e.Proc, e.Key, e.Hi, e.Delta, e.RetVal, e.Invoke, e.Return)
 	case KindBatch:
 		return fmt.Sprintf("P%d batch%v @[%d,%d]", e.Proc, e.Items, e.Invoke, e.Return)
+	case KindSnapshot:
+		return fmt.Sprintf("P%d snapshot[%d,%d]=%v @[%d,%d]", e.Proc, e.Key, e.Hi, e.Pairs, e.Invoke, e.Return)
 	default:
 		return fmt.Sprintf("P%d lookup(%d)=(%d,%t) @[%d,%d]", e.Proc, e.Key, e.RetVal, e.RetOK, e.Invoke, e.Return)
 	}
@@ -165,10 +178,24 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Begin returns an invocation timestamp.
 func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
 
+// Now returns a fresh timestamp without recording anything. Use it to close
+// an operation's real-time interval before its observations are materialized
+// — a snapshot acquisition returns immediately, but the Pairs its event
+// carries are produced by iterating the pinned view arbitrarily later.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }
+
 // End records a completed operation whose invocation timestamp was inv.
 func (r *Recorder) End(e Event, inv int64) {
+	r.EndAt(e, inv, r.clock.Add(1))
+}
+
+// EndAt records a completed operation with an explicit interval, for events
+// whose observation outlives their linearization interval (KindSnapshot: the
+// interval covers only the acquisition, captured with Begin/Now around it,
+// while the event is filed after the snapshot has been read).
+func (r *Recorder) EndAt(e Event, inv, ret int64) {
 	e.Invoke = inv
-	e.Return = r.clock.Add(1)
+	e.Return = ret
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	r.mu.Unlock()
@@ -291,9 +318,11 @@ func apply(e Event, state map[int64]int64) (func(), bool) {
 		k := e.Key
 		delete(state, k)
 		return func() { state[k] = v }, true
-	case KindRangeQuery:
+	case KindRangeQuery, KindSnapshot:
 		// The observed snapshot must be exactly the state's restriction to
-		// [Key,Hi]: same keys, same values, ascending order.
+		// [Key,Hi]: same keys, same values, ascending order. A KindSnapshot
+		// event mutates nothing — the pinned view's content is decided at the
+		// acquisition's linearization point and the later reads only reveal it.
 		keys := keysInRange(state, e.Key, e.Hi)
 		if len(keys) != len(e.Pairs) {
 			return nil, false

@@ -405,3 +405,84 @@ func TestBatchUndoRestoresPriorValues(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+func TestSnapshotSequential(t *testing.T) {
+	// The snapshot's Pairs reflect the state at acquisition even though the
+	// iteration that produced them "ran" after later writes completed: the
+	// KindSnapshot interval covers only the acquisition.
+	h := seq(
+		Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+		Event{Kind: KindInsert, Key: 3, Val: 30, RetOK: true},
+		Event{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{1, 10}, {3, 30}}},
+		Event{Kind: KindRemove, Key: 1, RetOK: true},
+		Event{Kind: KindInsert, Key: 5, Val: 50, RetOK: true},
+		// A later snapshot sees the mutated state; the earlier one stays valid.
+		Event{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{3, 30}, {5, 50}}},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestSnapshotIllegalHistories(t *testing.T) {
+	cases := [][]Event{
+		// Sees a key never inserted.
+		seq(Event{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{1, 10}}}),
+		// Misses a key inserted before the acquisition completed.
+		seq(
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindSnapshot, Key: 0, Hi: 9},
+		),
+		// Sees a write that linearized strictly after the acquisition
+		// returned — the pinned view leaked a future state.
+		[]Event{
+			{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{4, 40}}, Invoke: 1, Return: 2},
+			{Kind: KindInsert, Key: 4, Val: 40, RetOK: true, Invoke: 3, Return: 4},
+		},
+		// Torn view: two keys were inserted before the acquisition and never
+		// removed, yet only one appears — no single point has that state.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 1, RetOK: true},
+			Event{Kind: KindInsert, Key: 2, Val: 2, RetOK: true},
+			Event{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{2, 2}}},
+		),
+		// Mixed-epoch view: observes key 1's pre-update value next to key 2's
+		// post-update value of one atomic RangeUpdate — a state that never
+		// existed at any linearization point.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindRangeUpdate, Key: 0, Hi: 9, Delta: 1, RetVal: 2},
+			Event{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{1, 10}, {2, 21}}},
+		),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal snapshot history accepted", i)
+		}
+	}
+}
+
+func TestSnapshotOverlappingInsertEitherWay(t *testing.T) {
+	// An insert overlapping the acquisition may land on either side of the
+	// snapshot's linearization point.
+	for _, pairs := range [][]KV{nil, {{4, 40}}} {
+		h := []Event{
+			{Kind: KindInsert, Key: 4, Val: 40, RetOK: true, Invoke: 1, Return: 4},
+			{Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: pairs, Invoke: 2, Return: 3},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("pairs=%v: %s", pairs, msg)
+		}
+	}
+}
+
+func TestSnapshotKindString(t *testing.T) {
+	if KindSnapshot.String() != "snapshot" {
+		t.Fatalf("KindSnapshot.String() = %q", KindSnapshot.String())
+	}
+	e := Event{Proc: 2, Kind: KindSnapshot, Key: 0, Hi: 9, Pairs: []KV{{1, 10}}, Invoke: 1, Return: 2}
+	if got := e.String(); got != "P2 snapshot[0,9]=[{1 10}] @[1,2]" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+}

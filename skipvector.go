@@ -31,6 +31,7 @@ package skipvector
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"skipvector/internal/core"
 	"skipvector/internal/telemetry"
@@ -364,6 +365,96 @@ func (c *Cursor[V]) Close() {
 		c.h = nil
 	}
 	c.done = true
+}
+
+// Snapshot pins the map's state at a single linearization point and returns
+// an immutable read-only view of it. Acquisition is O(1) — nothing is copied
+// up front; instead, writers that overlap a pinned snapshot publish chunk
+// pre-images copy-on-write, so the snapshot's cost is proportional to the
+// churn it overlaps, not to the map's size.
+//
+// Snapshot reads never block writers, and snapshot scans (Range, Ascend,
+// Cursor) never restart no matter how much concurrent churn the live map
+// sees — unlike the live map's RangeQuery/Ascend, which hold chunk locks, a
+// snapshot scan is lock-free and can safely run for as long as it likes.
+//
+// Close must be called when done: a pinned snapshot retains the pre-image
+// records and retired chunks it might still read. A snapshot that becomes
+// garbage without Close is released by a finalizer and counted in the
+// sv_snapshots_leaked_total metric; treat that as a bug in the caller, not a
+// resource-management strategy.
+func (m *Map[V]) Snapshot() *Snapshot[V] {
+	s := &Snapshot[V]{s: m.m.Snapshot()}
+	runtime.SetFinalizer(s, func(s *Snapshot[V]) { s.s.MarkLeaked() })
+	return s
+}
+
+// Snapshot is an immutable point-in-time view of a Map, pinned at a single
+// epoch. Safe for concurrent use by multiple goroutines. Using a snapshot
+// after Close panics.
+type Snapshot[V any] struct {
+	s *core.Snapshot[V]
+}
+
+// Close releases the snapshot's pin, allowing the versions it was holding to
+// be reclaimed. Idempotent.
+func (s *Snapshot[V]) Close() {
+	s.s.Close()
+	runtime.SetFinalizer(s, nil)
+}
+
+// Epoch returns the internal epoch the snapshot is pinned at. Epochs are
+// monotone across snapshots of one map; they are useful for diagnostics and
+// for asserting snapshot ordering in tests.
+func (s *Snapshot[V]) Epoch() uint64 { return s.s.Epoch() }
+
+// Closed reports whether the snapshot has been released.
+func (s *Snapshot[V]) Closed() bool { return s.s.Closed() }
+
+// Get returns the value bound to k at the snapshot's point in time.
+func (s *Snapshot[V]) Get(k int64) (V, bool) {
+	if p, ok := s.s.Get(k); ok {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k was present at the snapshot's point in time.
+func (s *Snapshot[V]) Contains(k int64) bool { return s.s.Contains(k) }
+
+// Range calls fn for every mapping with lo ≤ key ≤ hi at the snapshot's
+// point in time, in ascending key order. fn returning false stops early.
+func (s *Snapshot[V]) Range(lo, hi int64, fn func(k int64, v V) bool) {
+	s.s.Range(lo, hi, func(k int64, v *V) bool { return fn(k, *v) })
+}
+
+// Ascend calls fn for every mapping in the snapshot in ascending key order.
+func (s *Snapshot[V]) Ascend(fn func(k int64, v V) bool) {
+	s.s.Ascend(func(k int64, v *V) bool { return fn(k, *v) })
+}
+
+// Len counts the snapshot's mappings with a full scan.
+func (s *Snapshot[V]) Len() int { return s.s.Len() }
+
+// Cursor returns a stateful forward iterator over the snapshot's mappings
+// with keys ≥ start. Unlike a live-map Cursor — whose steps are independent
+// successor queries against a moving target — a snapshot cursor iterates one
+// frozen version: the sequence it returns is exactly the snapshot's content,
+// regardless of concurrent writes. The cursor borrows the snapshot and must
+// not outlive it; it is not safe for concurrent use.
+func (s *Snapshot[V]) Cursor(start int64) *SnapshotCursor[V] {
+	return &SnapshotCursor[V]{c: s.s.Cursor(start)}
+}
+
+// SnapshotCursor is a forward iterator over a Snapshot. See Snapshot.Cursor.
+type SnapshotCursor[V any] struct {
+	c *core.SnapCursor[V]
+}
+
+// Next returns the next mapping, or ok=false when the scan is exhausted.
+func (c *SnapshotCursor[V]) Next() (int64, V, bool) {
+	return unwrap[V](c.c.Next())
 }
 
 // NewHandle pins a per-goroutine session on the map. Map methods already

@@ -122,6 +122,45 @@ func (q *Queue[V]) PeekMin() (priority int64, v V, ok bool) {
 // Len returns the number of queued entries.
 func (q *Queue[V]) Len() int { return q.m.Len() }
 
+// Snapshot pins the queue's current contents and returns an immutable view
+// of it — a consistent audit of everything queued at one instant, taken in
+// O(1) without pausing pushers or poppers. Close the snapshot when done.
+func (q *Queue[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{s: q.m.Snapshot()}
+}
+
+// Snapshot is an immutable point-in-time view of a Queue. Safe for
+// concurrent use; using it after Close panics.
+type Snapshot[V any] struct {
+	s *skipvector.Snapshot[V]
+}
+
+// Close releases the snapshot's pin. Idempotent.
+func (s *Snapshot[V]) Close() { s.s.Close() }
+
+// Len counts the snapshot's entries with a full scan.
+func (s *Snapshot[V]) Len() int { return s.s.Len() }
+
+// PeekMin returns the snapshot's minimum-priority entry (ok=false when the
+// snapshot is empty). Unlike Queue.PeekMin, the answer can never go stale —
+// it is the minimum at the snapshot's point in time, forever.
+func (s *Snapshot[V]) PeekMin() (priority int64, v V, ok bool) {
+	var zero V
+	priority, v, ok = 0, zero, false
+	s.s.Ascend(func(k int64, val V) bool {
+		priority, v, ok = unkey(k), val, true
+		return false
+	})
+	return
+}
+
+// Ascend calls fn for every queued entry at the snapshot's point in time, in
+// pop order (ascending priority, arrival order within a priority). fn
+// returning false stops early.
+func (s *Snapshot[V]) Ascend(fn func(priority int64, v V) bool) {
+	s.s.Ascend(func(k int64, v V) bool { return fn(unkey(k), v) })
+}
+
 // Drain pops everything, calling fn in priority order, and returns the
 // number of entries drained. Concurrent pushes may extend the drain.
 func (q *Queue[V]) Drain(fn func(priority int64, v V)) int {

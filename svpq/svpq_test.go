@@ -269,3 +269,34 @@ func TestPushBatchConcurrentWithPop(t *testing.T) {
 		t.Fatalf("popped %d, want %d", popped, producers*batches*batchLen)
 	}
 }
+
+func TestQueueSnapshot(t *testing.T) {
+	q := New[string]()
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+
+	snap := q.Snapshot()
+	defer snap.Close()
+
+	// Pop and push after the pin: the snapshot's audit is unaffected.
+	q.PopMin()
+	q.Push(5, "z")
+
+	if n := snap.Len(); n != 3 {
+		t.Fatalf("snapshot Len = %d, want 3", n)
+	}
+	p, v, ok := snap.PeekMin()
+	if !ok || p != 10 || v != "a" {
+		t.Fatalf("snapshot PeekMin = (%d,%q,%t)", p, v, ok)
+	}
+	var order []int64
+	snap.Ascend(func(pr int64, _ string) bool { order = append(order, pr); return true })
+	if len(order) != 3 || order[0] != 10 || order[1] != 20 || order[2] != 30 {
+		t.Fatalf("snapshot Ascend order = %v", order)
+	}
+	// Live queue moved on: 5 is now the minimum.
+	if p, _, _ := q.PeekMin(); p != 5 {
+		t.Fatalf("live PeekMin = %d, want 5", p)
+	}
+}

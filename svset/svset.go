@@ -106,3 +106,43 @@ func (s *Set) Ascend(fn func(k int64) bool) {
 
 // Elements returns every element in ascending order (quiescent use).
 func (s *Set) Elements() []int64 { return s.m.Keys() }
+
+// Snapshot pins the set's current membership and returns an immutable view
+// of it. Acquisition is O(1) copy-on-write; scans over the snapshot never
+// restart and never block concurrent mutators. Close the snapshot when done.
+func (s *Set) Snapshot() *Snapshot {
+	return &Snapshot{s: s.m.Snapshot()}
+}
+
+// Snapshot is an immutable point-in-time view of a Set. Safe for concurrent
+// use; using it after Close panics.
+type Snapshot struct {
+	s *skipvector.Snapshot[struct{}]
+}
+
+// Close releases the snapshot's pin. Idempotent.
+func (s *Snapshot) Close() { s.s.Close() }
+
+// Contains reports membership of k at the snapshot's point in time.
+func (s *Snapshot) Contains(k int64) bool { return s.s.Contains(k) }
+
+// Len counts the snapshot's elements with a full scan.
+func (s *Snapshot) Len() int { return s.s.Len() }
+
+// Range calls fn for every element in [lo,hi] at the snapshot's point in
+// time, in ascending order; fn returning false stops early.
+func (s *Snapshot) Range(lo, hi int64, fn func(k int64) bool) {
+	s.s.Range(lo, hi, func(k int64, _ struct{}) bool { return fn(k) })
+}
+
+// Ascend iterates the snapshot's elements in ascending order.
+func (s *Snapshot) Ascend(fn func(k int64) bool) {
+	s.s.Ascend(func(k int64, _ struct{}) bool { return fn(k) })
+}
+
+// Elements returns the snapshot's elements in ascending order.
+func (s *Snapshot) Elements() []int64 {
+	var ks []int64
+	s.Ascend(func(k int64) bool { ks = append(ks, k); return true })
+	return ks
+}

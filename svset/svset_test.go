@@ -165,3 +165,42 @@ func TestBatchInsertRemove(t *testing.T) {
 		t.Fatalf("Len = %d, want 99", s.Len())
 	}
 }
+
+func TestSetSnapshot(t *testing.T) {
+	s := New()
+	for k := int64(0); k < 100; k += 2 {
+		s.Insert(k)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+
+	for k := int64(0); k < 100; k += 2 {
+		s.Remove(k)
+		s.Insert(k + 1)
+	}
+
+	if n := snap.Len(); n != 50 {
+		t.Fatalf("snapshot Len = %d, want 50", n)
+	}
+	if !snap.Contains(42) || snap.Contains(43) {
+		t.Fatal("snapshot membership drifted with post-pin churn")
+	}
+	elems := snap.Elements()
+	if len(elems) != 50 {
+		t.Fatalf("snapshot Elements has %d keys", len(elems))
+	}
+	for i, k := range elems {
+		if k != int64(2*i) {
+			t.Fatalf("snapshot element %d = %d, want %d", i, k, 2*i)
+		}
+	}
+	var inWin []int64
+	snap.Range(10, 20, func(k int64) bool { inWin = append(inWin, k); return true })
+	if len(inWin) != 6 || inWin[0] != 10 || inWin[5] != 20 {
+		t.Fatalf("snapshot Range[10,20] = %v", inWin)
+	}
+	// Live set moved on.
+	if s.Contains(42) || !s.Contains(43) {
+		t.Fatal("live set does not reflect the churn")
+	}
+}
