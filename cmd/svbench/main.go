@@ -1,8 +1,8 @@
 // Command svbench regenerates the paper's microbenchmark figures (1, 4, 5,
 // 7a, 7b, 8) plus the repo's own ablations (hazard-pointer cost, merge
 // threshold, memory footprint, B-link-tree comparator, search-finger locality
-// sweep), printing each figure as an aligned table (or CSV) of throughput
-// numbers.
+// sweep, hot-path prefetch×branchless grid, chunk-fanout sweep), printing
+// each figure as an aligned table (or CSV) of throughput numbers.
 //
 // Usage:
 //
@@ -38,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, all")
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, hotpath, fanout, all")
 		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
 		duration = fs.Duration("duration", 0, "override per-trial duration")
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
@@ -201,6 +201,18 @@ func run(args []string) error {
 				return err
 			}
 			emit(t)
+		case "hotpath":
+			t, err := bench.FigHotpath(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fanout":
+			t, err := bench.FigFanout(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -208,7 +220,7 @@ func run(args []string) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot"} {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot", "hotpath", "fanout"} {
 			if err := runFig(name); err != nil {
 				return err
 			}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"skipvector/internal/cpuhint"
+	"skipvector/internal/vectormap"
+	"skipvector/internal/workload"
+)
+
+// hotpathConfigs is the ablation grid of the hot-path sweep: both cache-miss
+// engineering levers off, each alone, and both together (the shipping
+// default).
+var hotpathConfigs = []struct {
+	Name       string
+	Prefetch   bool
+	Branchless bool
+}{
+	{Name: "neither", Prefetch: false, Branchless: false},
+	{Name: "prefetch", Prefetch: true, Branchless: false},
+	{Name: "branchless", Prefetch: false, Branchless: true},
+	{Name: "both", Prefetch: true, Branchless: true},
+}
+
+// FigHotpath runs the hot-path micro-architecture ablation: the same two
+// workloads — uniform point lookups (every probe a cold descent, the
+// cache-miss worst case) and sequential scan windows (the locality best
+// case) — under the four combinations of software prefetch and branchless
+// intra-chunk search. Speedups are relative to the "neither" row. The sweep
+// is the acceptance gate for the cache-miss engineering: uniform Get with
+// both levers on must clearly beat both-off, and no cell may regress below
+// it. The toggles are process-global, so rows run sequentially and the
+// previous settings are restored before returning.
+func FigHotpath(s Scale) (*Table, error) {
+	keyRange := Pow2(s.SensitivityRangeExp)
+	window := keyRange / 64
+	if window < 512 {
+		window = 512
+	}
+	t := NewTable(
+		fmt.Sprintf("Hot-path ablation (ops/s), %d threads, 2^%d keys, prefetch supported=%v",
+			s.SensitivityThreads, s.SensitivityRangeExp, cpuhint.Supported()),
+		"config", []string{"uniform-get", "seq-scan", "get-speedup", "scan-speedup"})
+
+	prevPrefetch := cpuhint.Enabled() || !cpuhint.Supported()
+	prevBranchless := vectormap.BranchlessSearch()
+	defer func() {
+		cpuhint.SetEnabled(prevPrefetch)
+		vectormap.SetBranchlessSearch(prevBranchless)
+	}()
+
+	var baseGet, baseScan float64
+	for _, c := range hotpathConfigs {
+		cpuhint.SetEnabled(c.Prefetch)
+		vectormap.SetBranchlessSearch(c.Branchless)
+		var get, scan float64
+		for rep := 0; rep < s.Reps; rep++ {
+			getCfg := TrialConfig{
+				Threads:  s.SensitivityThreads,
+				Duration: s.Duration,
+				KeyRange: keyRange,
+				Mix:      workload.Mix{LookupPct: 100},
+				Seed:     s.Seed + uint64(rep)*0x9e37,
+			}
+			resGet, err := RunTrial(SVHP.New(keyRange), getCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s uniform-get: %w", c.Name, err)
+			}
+			scanCfg := getCfg
+			scanCfg.SeqWindow = window
+			resScan, err := RunTrial(SVHP.New(keyRange), scanCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s seq-scan: %w", c.Name, err)
+			}
+			get += resGet.Throughput
+			scan += resScan.Throughput
+		}
+		r := float64(s.Reps)
+		get, scan = get/r, scan/r
+		if c.Name == "neither" {
+			baseGet, baseScan = get, scan
+		}
+		getSpeedup, scanSpeedup := 0.0, 0.0
+		if baseGet > 0 {
+			getSpeedup = get / baseGet
+		}
+		if baseScan > 0 {
+			scanSpeedup = scan / baseScan
+		}
+		t.AddRow(c.Name, []float64{get, scan, getSpeedup, scanSpeedup})
+	}
+	return t, nil
+}
+
+// fanoutTargets is the chunk-fanout grid of FigFanout (the paper's Figure 7a
+// axis, cut down to the three interesting decades).
+var fanoutTargets = []int{8, 32, 128}
+
+// FigFanout sweeps the data- and index-chunk target sizes under the shipping
+// hot-path configuration (prefetch and branchless search both on) on the
+// read-heavy uniform mix. Larger chunks mean fewer pointer hops but longer
+// intra-chunk searches and wider prefetch windows; the sweep shows where the
+// trade-off peaks on the host it runs on, complementing the paper's Figure 7a
+// with the cache-miss levers active.
+func FigFanout(s Scale) (*Table, error) {
+	keyRange := Pow2(s.SensitivityRangeExp)
+	t := NewTable(
+		fmt.Sprintf("Chunk fanout sweep (ops/s), %d threads, 2^%d keys, read-heavy uniform",
+			s.SensitivityThreads, s.SensitivityRangeExp),
+		"T_D/T_I", []string{"ops/s"})
+	for _, td := range fanoutTargets {
+		for _, ti := range fanoutTargets {
+			v := TunedSV(fmt.Sprintf("SV-%d/%d", td, ti), td, ti, true, false)
+			var tput float64
+			for rep := 0; rep < s.Reps; rep++ {
+				cfg := TrialConfig{
+					Threads:  s.SensitivityThreads,
+					Duration: s.Duration,
+					KeyRange: keyRange,
+					Mix:      workload.MixReadHeavy,
+					Seed:     s.Seed + uint64(rep)*0x9e37,
+				}
+				res, err := RunTrial(v.New(keyRange), cfg)
+				if err != nil {
+					return nil, fmt.Errorf("T_D=%d/T_I=%d: %w", td, ti, err)
+				}
+				tput += res.Throughput
+			}
+			t.AddRow(fmt.Sprintf("%d/%d", td, ti), []float64{tput / float64(s.Reps)})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"skipvector/internal/cpuhint"
+	"skipvector/internal/vectormap"
+)
+
+// TestFigHotpathQuick smoke-checks the hot-path ablation: the grid must
+// report all four prefetch×branchless rows with usable throughputs and
+// speedups, and running it must leave the process-global toggles exactly as
+// it found them. Quick-scale trials are far too short to assert the ≥1.10×
+// uniform-get gate itself — that applies to the paper-scale artifact
+// (BENCH_hotpath.json) — so the cells are only checked for sanity here.
+func TestFigHotpathQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prevPrefetch := cpuhint.Enabled() || !cpuhint.Supported()
+	prevBranchless := vectormap.BranchlessSearch()
+
+	tb, err := FigHotpath(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cpuhint.Enabled() || !cpuhint.Supported(); got != prevPrefetch {
+		t.Errorf("FigHotpath left the prefetch toggle at %v (was %v)", got, prevPrefetch)
+	}
+	if got := vectormap.BranchlessSearch(); got != prevBranchless {
+		t.Errorf("FigHotpath left the branchless toggle at %v (was %v)", got, prevBranchless)
+	}
+
+	if len(tb.XValues) != len(hotpathConfigs) {
+		t.Fatalf("hotpath rows = %d, want %d", len(tb.XValues), len(hotpathConfigs))
+	}
+	for _, col := range []string{"uniform-get", "seq-scan", "get-speedup", "scan-speedup"} {
+		if tb.Col(col) < 0 {
+			t.Fatalf("hotpath sweep misses column %q: %v", col, tb.Columns)
+		}
+	}
+	for i, label := range tb.XValues {
+		for j, col := range tb.Columns {
+			v := tb.Cells[i][j]
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("row %q column %q reports no usable value: %v", label, col, v)
+			}
+		}
+		t.Logf("row %q: get=%.0f scan=%.0f speedups=%.3f/%.3f",
+			label, tb.Cells[i][tb.Col("uniform-get")], tb.Cells[i][tb.Col("seq-scan")],
+			tb.Cells[i][tb.Col("get-speedup")], tb.Cells[i][tb.Col("scan-speedup")])
+	}
+}
+
+// TestFigFanoutQuick smoke-checks the fanout sweep's shape: one row per
+// T_D×T_I grid cell, each with a positive throughput.
+func TestFigFanoutQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := FigFanout(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(fanoutTargets) * len(fanoutTargets)
+	if len(tb.XValues) != want {
+		t.Fatalf("fanout rows = %d, want %d", len(tb.XValues), want)
+	}
+	for i, label := range tb.XValues {
+		if v := tb.Cells[i][0]; v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("row %q reports no usable throughput: %v", label, v)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // TestFigSnapshotQuick is the writers-vs-scanners acceptance smoke: the
@@ -63,21 +64,30 @@ func TestFigSnapshotQuick(t *testing.T) {
 	}
 }
 
-// TestFigBatchReportsRatio is the uniform-traffic regression guard's smoke
-// test: the batch sweep must actually report the batched/singleton ratio
-// (the "speedup" column) for every pattern/size row, so the anti-pattern
-// band documented by UniformBatchRatioFloor/Ceil stays observable run over
-// run.
+// TestFigBatchReportsRatio smoke-checks the uniform parity gate: the batch
+// sweep must report the batched/singleton ratio (the "speedup" column) for
+// every pattern/size row, and the uniform rows must sit at or near the hard
+// UniformBatchRatioFloor of 1.0 — batching uniform traffic never loses to
+// the singleton loop. Quick-scale trials are short enough to jitter a few
+// percent, so the test enforces the gate with a fixed noise allowance; the
+// allowance-free gate applies to paper-scale runs (BENCH_batch.json).
 func TestFigBatchReportsRatio(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if !(0 < UniformBatchRatioFloor && UniformBatchRatioFloor < UniformBatchRatioCeil &&
-		UniformBatchRatioCeil < 1) {
-		t.Fatalf("anti-pattern band [%v,%v] is not a sub-unit interval",
-			UniformBatchRatioFloor, UniformBatchRatioCeil)
+	if UniformBatchRatioFloor < 1 {
+		t.Fatalf("uniform parity floor %v < 1; the gate is hard parity",
+			UniformBatchRatioFloor)
 	}
-	tb, err := FigBatch(QuickScale())
+	// Smoke-scale noise allowance: 50ms single-rep trials jitter by tens of
+	// percent, so run the sweep a bit longer and averaged, and enforce the
+	// gate minus a 15% allowance. The allowance-free ≥1.0 gate applies to
+	// the checked-in paper-scale artifact (BENCH_batch.json).
+	quickFloor := UniformBatchRatioFloor * 0.85
+	s := QuickScale()
+	s.Duration = 150 * time.Millisecond
+	s.Reps = 2
+	tb, err := FigBatch(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,10 +103,12 @@ func TestFigBatchReportsRatio(t *testing.T) {
 		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 			t.Fatalf("row %q reports no usable ratio: %v", label, r)
 		}
-		// Quick-scale trials are too noisy to enforce the band itself; the
-		// guard here is that the ratio is reported and sane. The band is
-		// checked against paper-scale runs (BENCH_snapshot.json review).
-		t.Logf("row %q: batched/singleton = %.3f (uniform band [%.2f,%.2f])",
-			label, r, UniformBatchRatioFloor, UniformBatchRatioCeil)
+		if r < quickFloor {
+			t.Errorf("row %q: batched/singleton = %.3f, below the quick-scale floor %.2f (gate %.2f)",
+				label, r, quickFloor, UniformBatchRatioFloor)
+			continue
+		}
+		t.Logf("row %q: batched/singleton = %.3f (gate ≥%.2f at paper scale)",
+			label, r, UniformBatchRatioFloor)
 	}
 }

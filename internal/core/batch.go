@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"skipvector/internal/chaos"
+	"skipvector/internal/seqlock"
 	"skipvector/internal/vectormap"
 )
 
@@ -16,6 +17,16 @@ import (
 // pays on the write path too: a batch of B keys landing in one chunk costs
 // one descent and one lock round trip instead of B of each (the Jiffy
 // argument, specialized to the skip vector's seqlock protocol).
+//
+// Two refinements keep the grouped path ahead of the singleton loop even
+// when the batch has no locality (uniform keys, group size ≈ 1): a group's
+// extent is bounded by the locked chunk's own exact max key — free — rather
+// than by an always-paid validated walk to the successor's minimum
+// (succMinBound, now reserved for groups that straddle the gap past the
+// max), and consecutive groups share their position: each group records the
+// rightmost node it touched, and the next group resumes from it with a
+// bounded rightward walk (batchSeek) instead of a fresh descent, with an
+// adaptive cutoff so batches without locality stop paying for the attempt.
 //
 // Linearization. Every mutation a group makes — the owning chunk's slots and
 // any split orphans — is reachable only through the group's locked node, so
@@ -79,11 +90,27 @@ type batchScratch[V any] struct {
 	outs    []vectormap.SlotOutcome
 	segs    []*node[V]
 	segMins []int64
+
+	// Group-to-group descent sharing (batchSeek): the previous group's
+	// rightmost segment with the clean version it was published at. Valid
+	// only *within* one batch — group keys ascend, so the hint node's span
+	// is always at or left of the next group's first key, which is exactly
+	// the precondition of the rightward walk. A later batch through the same
+	// pooled context may start anywhere, so release() clears the hint.
+	hintNode *node[V]
+	hintVer  seqlock.Version
+	// hintFails counts consecutive failed hint walks; at batchHintFailLimit
+	// the walks stop for the rest of the batch. The reach prediction in
+	// batchSeek already skips walks the hint's key span says cannot succeed
+	// (uniform batches put adjacent groups thousands of chunks apart), so
+	// this counter only absorbs the residue the prediction gets wrong.
+	hintFails uint8
 }
 
 func (sc *batchScratch[V]) release() {
 	clear(sc.slots[:cap(sc.slots)])
 	clear(sc.segs[:cap(sc.segs)])
+	sc.hintNode, sc.hintVer, sc.hintFails = nil, 0, 0
 }
 
 // batchSorter stably sorts the order permutation by op key without the
@@ -249,6 +276,119 @@ func (m *Map[V]) applyBatchGroup(
 	}
 }
 
+const (
+	// batchHopBudget bounds batchSeek's rightward walk from the previous
+	// group's node. Adjacent groups of a locality-bearing batch sit zero or
+	// one chunk apart (an empty orphan or a fresh split in between at worst);
+	// past a few hops a full descent is cheaper than the validated crawl.
+	batchHopBudget = 4
+	// batchHintFailLimit is how many consecutive walks may fail before
+	// batchSeek stops trying for the remainder of the batch.
+	batchHintFailLimit = 2
+)
+
+// batchSeek positions a group commit on the data node owning k. It tries, in
+// order: a bounded rightward walk from the previous group's last segment, the
+// search finger, and the full descent. The hint is revalidated exactly like
+// the finger: hazard pointer first, then Validate of the recorded version — a
+// node that was merged away, split, or recycled since its group committed
+// fails the validation (lock words are monotonic across lifetimes) and the
+// walk is skipped. On success the postcondition is descendToData's: a hazard
+// pointer and a validated snapshot of the owner.
+func (m *Map[V]) batchSeek(ctx *opCtx[V], k int64) (*node[V], seqlock.Version, bool) {
+	sc := &ctx.batch
+	if h := sc.hintNode; h != nil && sc.hintFails < batchHintFailLimit {
+		// Cheap triage before any hazard traffic, on speculative reads of the
+		// hint's key extremes (node memory is type-stable, so a recycled hint
+		// yields garbage values, not a fault — and garbage only mispredicts;
+		// every value this branch acts on is re-proven below).
+		//
+		// The walk's entry precondition is min(h) ≤ k: a rightward walk can
+		// never correct a start that is already right of the owner, and its
+		// stop test (k ≤ max) would happily return such a node. The hint does
+		// not guarantee this by construction — the last split segment keeps
+		// the chunk's pre-existing upper keys, and when a tall-key run cuts
+		// the batch's grouped span, the next group can resume below them.
+		//
+		// Reach prediction: the walk only pays off when the owner of k is
+		// within the hop budget, and the hint's own key span is a free density
+		// estimate for the chunks around it. When k lies past the hint's max
+		// by more than budget× that span, the owner is almost certainly out of
+		// reach — a uniform batch over a large key space puts consecutive
+		// groups thousands of chunks apart — so skip the walk entirely. Both
+		// subtractions are non-negative under the guards (hm ≤ k, hm ≤ hx, the
+		// latter also keeping the span divisor nonzero on garbage reads), so
+		// the uint64 arithmetic is exact, and dividing by the span sidesteps
+		// overflow.
+		hm, hasMin := h.minKey()
+		hx, hasMax := h.maxKey()
+		inReach := hasMin && hasMax && hm <= k && hm <= hx &&
+			(k <= hx || (uint64(k)-uint64(hx))/(uint64(hx)-uint64(hm)+1) <= batchHopBudget)
+		if inReach {
+			prefetchNode(h)
+			ctx.take(h)
+			// The hazard pointer is published; a Validate now pins the
+			// speculative reads above (the word still carries the version this
+			// batch released, so nothing was modified or recycled since — the
+			// precondition held for real) and licenses the walk.
+			if h.lock.Validate(sc.hintVer) {
+				if n, v, ok := m.traverseRightN(ctx, h, sc.hintVer, k, modeWrite, batchHopBudget); ok {
+					sc.hintFails = 0
+					m.batchDescSaved.add(ctx.stripe, 1)
+					return n, v, true
+				}
+			}
+			// Budget exhausted despite the prediction, or a validation lost a
+			// race. The batch positions this group from scratch; no restart is
+			// charged (nothing was locked, nothing observed inconsistently).
+			ctx.dropAll()
+		}
+		// Any non-success — failed walk, stale hint, or an out-of-reach skip —
+		// counts toward the cutoff, so a batch whose groups show no locality
+		// stops even the triage loads after batchHintFailLimit strikes.
+		sc.hintFails++
+	}
+	curr, ver, hit := m.fingerSeek(ctx, k, fingerPoint)
+	if hit {
+		return curr, ver, true
+	}
+	return m.descendToData(ctx, k, modeWrite)
+}
+
+// succMinBound resolves the exclusive upper bound of curr's span — the first
+// non-empty successor's minimum — with validated reads, while the caller
+// holds curr's write lock. Under that lock nothing reachable only through
+// curr can be unlinked from it and no key below that minimum can appear to
+// the right (either mutation routes through curr's lock), so the bound holds
+// until the lock's release. Empty orphans are skipped, not waited out: the
+// group's own descent stops at curr and never crosses them, so restarting
+// until someone unlinks them could spin forever on a privately-owned key
+// range; a skipped empty node can only gain keys at or above the returned
+// bound (absorption pulls from its right), which leaves it valid. No hazard
+// pointers are needed — the chain hangs off the locked curr, and a node
+// recycled mid-walk fails its validation. ok=false means a validated read
+// lost a race (e.g. a successor mid-split); callers either retry the whole
+// group or — on the extension path — simply keep the lock-exact prefix.
+func (m *Map[V]) succMinBound(curr *node[V]) (int64, bool) {
+	for next := curr.next.Load(); next != nil; {
+		prefetchNode(next)
+		nv, ok := next.lock.ReadVersion()
+		if !ok {
+			return 0, false
+		}
+		nm, has := next.minKey()
+		nn := next.next.Load()
+		if !next.lock.Validate(nv) {
+			return 0, false
+		}
+		if has {
+			return nm, true
+		}
+		next = nn
+	}
+	return 0, false
+}
+
 // batchGroupAttempt performs one optimistic group commit; done=false requests
 // a restart.
 func (m *Map[V]) batchGroupAttempt(
@@ -261,13 +401,9 @@ func (m *Map[V]) batchGroupAttempt(
 		return 0, false
 	}
 	k0 := ops[group[0]].Key
-	curr, ver, hit := m.fingerSeek(ctx, k0, fingerPoint)
-	if !hit {
-		var ok bool
-		curr, ver, ok = m.descendToData(ctx, k0, modeWrite)
-		if !ok {
-			return 0, false
-		}
+	curr, ver, ok := m.batchSeek(ctx, k0)
+	if !ok {
+		return 0, false
 	}
 	if !curr.lock.TryUpgrade(ver) {
 		return 0, false
@@ -283,52 +419,43 @@ func (m *Map[V]) batchGroupAttempt(
 		return 0, false
 	}
 
-	// Resolve the exclusive upper bound of curr's span with validated reads
-	// of successor minima. While curr's write lock is held, nothing reachable
-	// only through curr can be unlinked from it and no key below the first
-	// non-empty successor's minimum can appear to the right (either mutation
-	// routes through curr's lock), so that minimum bounds the keys curr owns
-	// now and until the release below. Empty orphans left behind by removals
-	// are skipped, not waited out: the group's own descent stops at curr and
-	// never crosses them (traverseRight returns as soon as the owner's max
-	// covers the key), so restarting until someone else unlinks them can spin
-	// forever on a privately-owned key range. A skipped empty node can only
-	// gain keys at or above the computed bound (absorption pulls from its
-	// right), which leaves the bound valid. No hazard pointers are needed:
-	// the chain hangs off the locked curr, and a node recycled mid-walk fails
-	// its validation (sequence numbers are monotonic across lifetimes). The
-	// validated reads can still fail against a concurrent writer of a
-	// successor (e.g. a split) — that only costs a restart.
-	bound := int64(0)
-	haveBound := false
-	for next := curr.next.Load(); next != nil; {
-		nv, ok := next.lock.ReadVersion()
-		if !ok {
-			break
+	// Group extent. While curr's write lock is held the data layer's
+	// partition is frozen at curr: no key can enter or leave curr's span
+	// (linking, merging, or unlinking a neighbor all require this lock), so
+	// curr.data.Bounds() is exact and every group key ≤ max(curr) is
+	// provably curr's — no successor reads at all. That covers nearly every
+	// group of a uniform batch (groups of one or two keys deep inside a
+	// chunk), which is what lets ApplyBatch dominate the singleton loop even
+	// with no locality to exploit. Keys beyond max(curr) may still be curr's
+	// — they can sit in the gap before the successor's minimum — but
+	// resolving that costs a validated walk of successor minima
+	// (succMinBound), so it is paid only when the next group key is within
+	// curr's own key span (the locality scale at hand: if the batch is dense
+	// enough to land ops within one span past the chunk, it is dense enough
+	// to make extending the group worthwhile) or when curr offers no
+	// evidence (k0 past its max, or an empty chunk).
+	g := 0
+	minK, maxK, hasBounds := curr.data.Bounds()
+	if hasBounds && k0 <= maxK {
+		// g ≥ 1: k0 ≤ maxK. A failed extension walk just keeps this prefix —
+		// never a restart.
+		g = sort.Search(len(group), func(i int) bool { return ops[group[i]].Key > maxK })
+		if g < len(group) && uint64(ops[group[g]].Key)-uint64(maxK) <= uint64(maxK)-uint64(minK) {
+			if bound, ok := m.succMinBound(curr); ok {
+				g = sort.Search(len(group), func(i int) bool { return ops[group[i]].Key >= bound })
+			}
 		}
-		nm, has := next.minKey()
-		nn := next.next.Load()
-		if !next.lock.Validate(nv) {
-			break
+	} else {
+		// k0 landed in the gap past curr's max (ascending ingest) or curr is
+		// empty: only the successor's minimum can prove ownership. k0 ≥
+		// bound means the positioning was stale — restart.
+		bound, ok := m.succMinBound(curr)
+		if !ok || k0 >= bound {
+			m.recordFinger(ctx, curr, curr.lock.Abort())
+			ctx.dropAll()
+			return 0, false
 		}
-		if has {
-			bound, haveBound = nm, true
-			break
-		}
-		next = nn
-	}
-	if !haveBound || k0 >= bound {
-		m.recordFinger(ctx, curr, curr.lock.Abort())
-		ctx.dropAll()
-		return 0, false
-	}
-
-	// The group is the longest prefix owned by curr. g ≥ 1: curr owns k0.
-	g := sort.Search(len(group), func(i int) bool { return ops[group[i]].Key >= bound })
-	if g == 0 {
-		m.recordFinger(ctx, curr, curr.lock.Abort())
-		ctx.dropAll()
-		return 0, false
+		g = sort.Search(len(group), func(i int) bool { return ops[group[i]].Key >= bound })
 	}
 
 	// Min-defer: removing the minimum key of a non-orphan node must take the
@@ -338,7 +465,7 @@ func (m *Map[V]) batchGroupAttempt(
 	// and only a net removal matters: a run that leaves k0 present keeps any
 	// tower entry valid, and the intermediate states stay inside the lock.
 	// Splitting the group before k0 preserves cross-group key order.
-	if minK, has := curr.data.MinKey(); has && minK == k0 && !curr.lock.IsOrphan() {
+	if hasBounds && minK == k0 && !curr.lock.IsOrphan() {
 		run := keyRunEnd(ops, group, 0)
 		// k0 starts present, every put (insert-only included) leaves it
 		// present and every delete leaves it absent, so the run's last op
@@ -411,8 +538,27 @@ func (m *Map[V]) batchGroupAttempt(
 
 	sc.segs, sc.segMins = segs, segMins
 
+	// The hint version for a split-orphan last segment must be read *before*
+	// the release below makes the orphan reachable: afterwards a concurrent
+	// writer could lock, mutate, and cleanly release it — or merge it away
+	// and recycle it into an arbitrary position — leaving a clean word that
+	// a later Validate would accept. The batch hint, unlike the finger, is
+	// trusted for *position* (batchSeek walks rightward from it without
+	// re-deriving ownership), so its version must prove the node unchanged
+	// since this group published it. While the orphan is private its word is
+	// stable and clean, making this read exact, and any post-release touch
+	// then fails the hint's validation — a conservative miss.
+	last := segs[len(segs)-1]
+	lver := seqlock.Version(0)
+	if last != curr {
+		lver = last.lock.Current()
+	}
+
 	// Single release: the group's linearization point.
 	fver := curr.lock.Release()
+	if last == curr {
+		lver = fver
+	}
 
 	var delta int64
 	for i := 0; i < g; i++ {
@@ -427,14 +573,14 @@ func (m *Map[V]) batchGroupAttempt(
 	if delta != 0 {
 		m.length.add(ctx.stripe, delta)
 	}
-	// Remember the right end of the chain: the next group's keys are higher,
-	// so they resume from the last segment. A freshly published orphan's
-	// word may already be claimed by a concurrent writer; recordFinger
-	// rejects locked/frozen words, making the racy Current() read safe.
-	if last := segs[len(segs)-1]; last == curr {
-		m.recordFinger(ctx, curr, fver)
-	} else {
-		m.recordFinger(ctx, last, last.lock.Current())
+	// Remember the right end of the chain twice over: in the finger (for
+	// whatever operation runs next on this context) and in the batch hint
+	// (for the next group's batchSeek, which can walk right from here instead
+	// of descending). The next group's keys are higher, so the last segment's
+	// span starts left of them — the walk's precondition.
+	m.recordFinger(ctx, last, lver)
+	if !lver.Locked() && !lver.Frozen() {
+		sc.hintNode, sc.hintVer = last, lver
 	}
 	ctx.dropAll()
 	return g, true

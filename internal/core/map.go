@@ -164,6 +164,11 @@ type Map[V any] struct {
 	fingerHits   lengthCounter
 	fingerMisses lengthCounter
 
+	// batchDescSaved counts ApplyBatch groups positioned by walking from the
+	// previous group's node instead of a fresh descent (striped for the same
+	// reason as the finger counters: one touch per group commit).
+	batchDescSaved lengthCounter
+
 	// restartsByOp breaks stats.Restarts down by the operation kind that
 	// paid the restart. Always-on like Restarts itself: restarts are a cold
 	// path, and the invariant suite wants the identity

@@ -48,6 +48,9 @@ func (m *Map[V]) initMetrics() {
 	r.CounterFunc("sv_node_retires_total", "Nodes retired for reclamation.", m.mem.retires.Load)
 	r.CounterFunc("sv_finger_hits_total", "Operations that resumed from the search finger.", m.fingerHits.load)
 	r.CounterFunc("sv_finger_misses_total", "Finger attempts that fell back to the full descent.", m.fingerMisses.load)
+	r.CounterFunc("sv_batch_descents_saved_total",
+		"ApplyBatch groups positioned from the previous group's node by a bounded rightward walk, skipping the descent.",
+		m.batchDescSaved.load)
 	r.GaugeFunc("sv_len", "Current key count.", func() float64 { return float64(m.length.load()) })
 
 	r.CounterFunc("sv_snapshots_pinned_total", "Snapshots acquired.", m.snaps.pinnedTotal.Load)

@@ -224,6 +224,8 @@ type StatsSnapshot struct {
 	FingerHits     int64 // operations that resumed from the search finger
 	FingerMisses   int64 // finger attempts that fell back to the full descent
 
+	BatchDescentsSaved int64 // batch groups positioned from the previous group's node, no descent
+
 	SnapshotsPinned   int64 // snapshots acquired (monotonic)
 	SnapshotsReleased int64 // snapshots released via Close (monotonic; ≤ SnapshotsPinned)
 	SnapshotsActive   int64 // snapshots currently pinned
@@ -253,6 +255,7 @@ func (m *Map[V]) Stats() StatsSnapshot {
 	s.Reuses = m.mem.reuses.Load()
 	s.FingerHits = m.fingerHits.load()
 	s.FingerMisses = m.fingerMisses.load()
+	s.BatchDescentsSaved = m.batchDescSaved.load()
 	// Released and Pruned load before Pinned and Cow respectively (a release
 	// is counted only after its pin; a prune only after its push), so
 	// Released ≤ Pinned and Pruned ≤ Cow hold in any snapshot.

@@ -1,0 +1,89 @@
+// Package cpuhint exposes best-effort CPU micro-architectural hints — today
+// a single one: software prefetch. The skip vector's descent is a pointer
+// chase (tower node → child node → data chunk) whose every step begins with
+// a load from a cache line the previous step just discovered; issuing a
+// PREFETCHT0/PRFM for that line while the protocol work of the current step
+// (hazard publication, seqlock validation) is still in flight overlaps the
+// miss latency with work that must happen anyway ("Skiplists with
+// Foresight", PPoPP'18).
+//
+// Hints are exactly that: they never fault, never synchronize, and never
+// change program semantics. A prefetch of a stale pointer — a node recycled
+// between the load and the hint — merely warms an irrelevant line. That is
+// what makes the hint safe to issue for speculatively read pointers *before*
+// the seqlock validation that proves them consistent, which is precisely
+// where the latency overlap comes from.
+//
+// Platform support is compile-time: amd64 and arm64 get one-instruction
+// assembly stubs; every other GOARCH (or any build with the purego tag)
+// compiles Prefetch down to nothing — the `supported` constant folds the
+// whole body away, so unsupported platforms pay zero, not a dynamic check.
+//
+// On supported platforms a process-wide kill switch (SetEnabled) exists for
+// ablation benchmarks; it costs one atomic load per hint, which the figures
+// in BENCH_hotpath.json show is far below the win. The hint count is
+// recorded in the process-global telemetry registry as
+// sv_prefetch_issued_total (telemetry-gated, like every other instrument).
+package cpuhint
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"skipvector/internal/telemetry"
+)
+
+// disabled is the ablation kill switch; the zero value keeps hints on.
+// Inverted so that package init needs no store.
+var disabled atomic.Bool
+
+// issued counts hints actually executed (supported platform, toggle on).
+// Sharded by cache-line address bits: prefetch sites have no per-goroutine
+// stripe at hand, and the line address is a free locality token.
+var issued = telemetry.Global.Counter("sv_prefetch_issued_total",
+	"Software prefetch hints issued on the descent and intra-chunk search hot paths.")
+
+// Supported reports whether this build issues real prefetch instructions.
+func Supported() bool { return supported }
+
+// Enabled reports whether hints are currently being issued (always false on
+// unsupported builds).
+func Enabled() bool { return supported && !disabled.Load() }
+
+// SetEnabled toggles hint emission on supported platforms. It exists for the
+// prefetch on/off ablation (svbench -fig hotpath); production callers leave
+// it alone. Toggling while other goroutines run is safe (the flag is atomic)
+// but mid-trial flips make ablation numbers meaningless, so the benchmarks
+// set it before starting workers.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Prefetch hints that the cache line containing p will be read soon
+// (PREFETCHT0 on amd64, PRFM PLDL1KEEP on arm64). p may be nil, stale, torn,
+// or otherwise garbage: prefetch instructions ignore faults by definition,
+// and the hint body is assembly the race detector does not instrument, so no
+// Go-level read of *p ever occurs. On unsupported builds the call compiles
+// to nothing.
+func Prefetch(p unsafe.Pointer) {
+	if !supported || p == nil || disabled.Load() {
+		return
+	}
+	issued.Inc(int(uintptr(p) >> 6))
+	prefetch(p)
+}
+
+// Prefetch2 issues hints for two lines with one toggle check. It is the
+// common shape on the descent: the next node's header line plus the first
+// line of the chunk array the following step will search.
+func Prefetch2(p, q unsafe.Pointer) {
+	if !supported || disabled.Load() {
+		return
+	}
+	if p != nil {
+		issued.Inc(int(uintptr(p) >> 6))
+		prefetch(p)
+	}
+	if q != nil {
+		issued.Inc(int(uintptr(q) >> 6))
+		prefetch(q)
+	}
+}

@@ -2,7 +2,11 @@ package vectormap
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+	"unsafe"
+
+	"skipvector/internal/cpuhint"
 )
 
 // These microbenchmarks quantify the per-chunk cost model behind Figure 7b:
@@ -56,6 +60,81 @@ func BenchmarkChunkInsertRemove(b *testing.B) {
 					k := int64((i%target)*2 + 1) // odd keys: always absent
 					c.Insert(k, &x)
 					c.Remove(k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkChunkIndexOf pits the branchless lower-bound core against the
+// reference binary search on sorted chunks of 8–512 keys with uniformly
+// random (maximally branch-hostile) lookup targets. EXPERIMENTS.md cites
+// these numbers for the hotpath ablation's intra-chunk component.
+func BenchmarkChunkIndexOf(b *testing.B) {
+	defer SetBranchlessSearch(true)
+	for _, impl := range []string{"branchless", "ref"} {
+		for _, size := range []int{8, 32, 64, 128, 512} {
+			c := benchChunk(size, true)
+			// Pre-generate probe keys: half present (even), half absent (odd),
+			// in random order, so the probe sequence defeats the predictor the
+			// same way uniform workload keys do.
+			rng := rand.New(rand.NewSource(42))
+			probes := make([]int64, 4096)
+			for i := range probes {
+				probes[i] = int64(rng.Intn(size * 2))
+			}
+			b.Run(fmt.Sprintf("impl=%s/T=%d", impl, size), func(b *testing.B) {
+				SetBranchlessSearch(impl == "branchless")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Get(probes[i&4095])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDescend models the descent's memory behaviour in isolation: a
+// pointer-chase through a chain of chunks far larger than L2, searching each
+// one, with the next hop's key lines either prefetched while the current
+// search runs (as core.descendToData does) or not. The prefetch × branchless
+// grid here is the microbenchmark backing for the full-map hotpath figure.
+func BenchmarkDescend(b *testing.B) {
+	defer cpuhint.SetEnabled(true)
+	defer SetBranchlessSearch(true)
+	const chainLen = 1 << 14 // 16Ki chunks × 64 keys ≈ 16 MiB of key cells
+	chunks := make([]*Chunk[int64], chainLen)
+	rng := rand.New(rand.NewSource(7))
+	order := rng.Perm(chainLen)
+	for i := range chunks {
+		chunks[i] = benchChunk(64, true)
+	}
+	// Random probe targets, like ChunkIndexOf's: a periodic pattern would let
+	// the branch predictor memorize the reference search's decisions, which no
+	// uniform workload allows it.
+	probes := make([]int64, 4096)
+	for i := range probes {
+		probes[i] = int64(rng.Intn(128))
+	}
+	for _, pf := range []bool{true, false} {
+		for _, bl := range []bool{true, false} {
+			b.Run(fmt.Sprintf("prefetch=%t/branchless=%t", pf, bl), func(b *testing.B) {
+				cpuhint.SetEnabled(pf)
+				SetBranchlessSearch(bl)
+				b.ResetTimer()
+				pos := 0
+				for i := 0; i < b.N; i++ {
+					c := chunks[order[pos]]
+					pos++
+					if pos == chainLen {
+						pos = 0
+					}
+					// Hint the *next* chunk before searching the current one,
+					// mirroring the overlap structure of the real descent.
+					next := chunks[order[pos]]
+					cpuhint.Prefetch(unsafe.Pointer(&next.keys[0]))
+					next.PrefetchKeys()
+					c.Get(probes[i&4095])
 				}
 			})
 		}

@@ -1,6 +1,8 @@
 package vectormap
 
 import (
+	"encoding/binary"
+	"sort"
 	"testing"
 )
 
@@ -13,6 +15,10 @@ func FuzzChunkModel(f *testing.F) {
 	f.Add([]byte{255, 255, 0, 0, 128, 128}, true)
 
 	f.Fuzz(func(t *testing.T, ops []byte, sorted bool) {
+		defer SetBranchlessSearch(true)
+		// Alternate implementations between runs so the model check also
+		// differentially covers the branchless core at the API level.
+		SetBranchlessSearch(len(ops)%2 == 0)
 		var c Chunk[int64]
 		c.Init(4, sorted) // capacity 8
 		model := map[int64]int64{}
@@ -51,6 +57,79 @@ func FuzzChunkModel(f *testing.F) {
 			if c.Size() != len(model) {
 				t.Fatalf("size %d != model %d", c.Size(), len(model))
 			}
+		}
+	})
+}
+
+// FuzzLowerBound is the differential proof obligation for the branchless
+// search core (search.go): on every *non-decreasing* key array — duplicates
+// included — lowerBound/upperBound must agree exactly with the reference
+// binary searches, and on *arbitrary* array contents (the torn sizes and
+// mid-shift states an optimistic reader can observe before seqlock
+// validation rejects them) both must still terminate with a result in
+// [0, s]. Keys are raw little-endian int64s so the fuzzer can reach the
+// sentinel extremes (NegInf/PosInf) where the sign-flip bias matters.
+func FuzzLowerBound(f *testing.F) {
+	k8 := func(ks ...int64) []byte {
+		b := make([]byte, 8*len(ks))
+		for i, k := range ks {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(k))
+		}
+		return b
+	}
+	f.Add(k8(1, 2, 3, 4), int64(3), uint8(4))
+	f.Add(k8(5, 5, 5, 9), int64(5), uint8(4))           // duplicates
+	f.Add(k8(NegInf, 0, PosInf), int64(NegInf), uint8(3)) // sentinel extremes
+	f.Add(k8(9, 2, -7, 2), int64(2), uint8(200))        // unsorted + torn size
+	f.Add(k8(), int64(0), uint8(0))                     // empty
+	f.Add(k8(PosInf, NegInf), int64(PosInf-1), uint8(2)) // reversed at extremes
+
+	f.Fuzz(func(t *testing.T, raw []byte, k int64, rawSize uint8) {
+		var c Chunk[int64]
+		c.Init(16, true) // capacity 32
+		n := len(raw) / 8
+		if n > c.Cap() {
+			n = c.Cap()
+		}
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+			c.keys[i].Store(keys[i])
+		}
+		// A torn size may exceed the populated prefix or the capacity; the
+		// clamp in snapshotSize is part of what this fuzz exercises.
+		c.size.Store(int32(rawSize))
+		s := int(rawSize)
+		if s > c.Cap() {
+			s = c.Cap()
+		}
+
+		// Arbitrary contents: in-bounds and terminating, nothing more.
+		for _, got := range []int{
+			c.lowerBound(k, s), c.upperBound(k, s),
+			c.lowerBoundRef(k, s), c.upperBoundRef(k, s),
+		} {
+			if got < 0 || got > s {
+				t.Fatalf("result %d outside [0, %d] on arbitrary keys", got, s)
+			}
+		}
+
+		// Non-decreasing contents: exact equivalence with the oracle. Sort
+		// the populated prefix and zero-fill the torn tail so the whole
+		// probed window [0, s) is ordered (zeros may break global order when
+		// keys are negative, so cap s at the populated prefix here).
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, kk := range keys {
+			c.keys[i].Store(kk)
+		}
+		if s > n {
+			s = n
+		}
+		if got, want := c.lowerBound(k, s), c.lowerBoundRef(k, s); got != want {
+			t.Fatalf("lowerBound(%d, %d) = %d, reference = %d (keys %v)", k, s, got, want, keys[:s])
+		}
+		if got, want := c.upperBound(k, s), c.upperBoundRef(k, s); got != want {
+			t.Fatalf("upperBound(%d, %d) = %d, reference = %d (keys %v)", k, s, got, want, keys[:s])
 		}
 	})
 }

@@ -187,17 +187,8 @@ func (c *Chunk[P]) Bounds() (minK, maxK int64, ok bool) {
 func (c *Chunk[P]) indexOf(k int64) int {
 	s := c.snapshotSize()
 	if c.sorted {
-		lo, hi := 0, s
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if c.keys[mid].Load() < k {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo < s && c.keys[lo].Load() == k {
-			return lo
+		if i := c.lowerBound(k, s); i < s && c.keys[i].Load() == k {
+			return i
 		}
 		return -1
 	}
@@ -232,19 +223,11 @@ func (c *Chunk[P]) FindLE(k int64) (key int64, val *P, ok bool) {
 	}
 	if c.sorted {
 		// Largest index with keys[i] <= k.
-		lo, hi := 0, s
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if c.keys[mid].Load() <= k {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo == 0 {
+		i := c.upperBound(k, s)
+		if i == 0 {
 			return 0, nil, false
 		}
-		return c.keys[lo-1].Load(), c.vals[lo-1].Load(), true
+		return c.keys[i-1].Load(), c.vals[i-1].Load(), true
 	}
 	best := -1
 	var bestKey int64
@@ -267,19 +250,11 @@ func (c *Chunk[P]) FindGE(k int64) (key int64, val *P, ok bool) {
 		return 0, nil, false
 	}
 	if c.sorted {
-		lo, hi := 0, s
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if c.keys[mid].Load() < k {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		if lo == s {
+		i := c.lowerBound(k, s)
+		if i == s {
 			return 0, nil, false
 		}
-		return c.keys[lo].Load(), c.vals[lo].Load(), true
+		return c.keys[i].Load(), c.vals[i].Load(), true
 	}
 	best := -1
 	var bestKey int64
@@ -393,6 +368,9 @@ func (o SlotOutcome) String() string {
 // capacity and never stop the run. Caller must hold the owning node's write
 // lock; out must be at least as long as ops.
 func (c *Chunk[P]) ApplyOps(ops []SlotOp[P], out []SlotOutcome) int {
+	// The batch's slot searches walk the whole occupied prefix; pull its
+	// first lines in while the loop sets up.
+	c.PrefetchKeys()
 	for i := range ops {
 		op := &ops[i]
 		if op.Del {
