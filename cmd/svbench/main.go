@@ -1,8 +1,9 @@
 // Command svbench regenerates the paper's microbenchmark figures (1, 4, 5,
 // 7a, 7b, 8) plus the repo's own ablations (hazard-pointer cost, merge
 // threshold, memory footprint, B-link-tree comparator, search-finger locality
-// sweep, hot-path prefetch×branchless grid, chunk-fanout sweep), printing
-// each figure as an aligned table (or CSV) of throughput numbers.
+// sweep, hot-path prefetch×branchless grid, chunk-fanout sweep, WAL
+// durability cost), printing each figure as an aligned table (or CSV) of
+// throughput numbers.
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 
 	"skipvector/internal/bench"
 	"skipvector/internal/telemetry"
+	"skipvector/internal/walbench"
 	"skipvector/internal/workload"
 )
 
@@ -38,7 +40,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, hotpath, fanout, all")
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, hotpath, fanout, wal, all")
 		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
 		duration = fs.Duration("duration", 0, "override per-trial duration")
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
@@ -213,6 +215,12 @@ func run(args []string) error {
 				return err
 			}
 			emit(t)
+		case "wal":
+			t, err := walbench.FigWAL(s)
+			if err != nil {
+				return err
+			}
+			emit(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -220,7 +228,7 @@ func run(args []string) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot", "hotpath", "fanout"} {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot", "hotpath", "fanout", "wal"} {
 			if err := runFig(name); err != nil {
 				return err
 			}

@@ -1,0 +1,54 @@
+package skipvector
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Codec translates values to and from the byte strings the durable log
+// stores. Append runs inside the commit hook — under a chunk's write lock,
+// on every logged mutation — so it must be fast, allocation-shy (append into
+// dst and return it), and infallible: any value the map accepts must encode.
+// Decode runs only during recovery and may fail, which surfaces as an
+// OpenDurable error. Decode must copy: the input aliases a recovery buffer
+// that is reused after the call.
+type Codec[V any] interface {
+	Append(dst []byte, v V) []byte
+	Decode(b []byte) (V, error)
+}
+
+// BytesCodec stores []byte values verbatim.
+func BytesCodec() Codec[[]byte] { return bytesCodec{} }
+
+type bytesCodec struct{}
+
+func (bytesCodec) Append(dst []byte, v []byte) []byte { return append(dst, v...) }
+func (bytesCodec) Decode(b []byte) ([]byte, error) {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// StringCodec stores string values as their bytes.
+func StringCodec() Codec[string] { return stringCodec{} }
+
+type stringCodec struct{}
+
+func (stringCodec) Append(dst []byte, v string) []byte { return append(dst, v...) }
+func (stringCodec) Decode(b []byte) (string, error)    { return string(b), nil }
+
+// Int64Codec stores int64 values as 8 little-endian bytes.
+func Int64Codec() Codec[int64] { return int64Codec{} }
+
+type int64Codec struct{}
+
+func (int64Codec) Append(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func (int64Codec) Decode(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("skipvector: int64 codec: %d-byte value", len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}

@@ -1,0 +1,553 @@
+package skipvector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"skipvector/internal/chaos"
+	"skipvector/internal/wal"
+)
+
+// Crash-recovery differential campaign.
+//
+// A deterministic tape of top-level operations runs against a durable map on
+// an in-memory filesystem with power-failure semantics (wal.MemFS). For every
+// filesystem mutation boundary the workload crosses — every write, fsync,
+// create, rename, including mid-fsync and mid-compaction-swap — the campaign
+// kills the filesystem at exactly that operation, settles the disk image with
+// a seeded torn/dropped/kept draw, reopens the directory, and checks the
+// recovered map against a pure-Go model:
+//
+//	recovered state == model prefix after K steps,  durableLB ≤ K ≤ attempted
+//
+// where durableLB is the last step the sync policy acknowledged as durable
+// (every acked step under SyncEveryCommit; the last explicit Sync/Compact
+// barrier under SyncInterval and SyncOS) and attempted includes the step the
+// crash interrupted — its lone record may legitimately survive in the page
+// cache even though it was never acknowledged. Batch steps occupy a single K
+// because the log frames them as atomic commit units; there is no K exposing
+// half a batch.
+
+// tapeStep is one top-level operation: a durable-map mutation paired with the
+// equivalent update of the reference model. barrier marks steps that are
+// durability barriers under every sync policy (Sync, Compact).
+type tapeStep struct {
+	name    string
+	barrier bool
+	mutate  func(d *DurableMap[string]) error
+	model   func(m map[int64]string)
+}
+
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// buildTape generates the deterministic op tape: singleton puts and deletes,
+// batches with mixed upsert/insert-only/delete ops, range updates, and
+// interleaved Compact and Sync barriers.
+func buildTape(seed uint64) []tapeStep {
+	rng := seed | 1
+	const keySpace = 240
+	var steps []tapeStep
+	for i := 0; i < 46; i++ {
+		switch {
+		case i == 12 || i == 33:
+			steps = append(steps, tapeStep{
+				name:    fmt.Sprintf("%02d-compact", i),
+				barrier: true,
+				mutate:  func(d *DurableMap[string]) error { return d.Compact() },
+				model:   func(map[int64]string) {},
+			})
+		case i == 20 || i == 40:
+			steps = append(steps, tapeStep{
+				name:    fmt.Sprintf("%02d-sync", i),
+				barrier: true,
+				mutate:  func(d *DurableMap[string]) error { return d.Sync() },
+				model:   func(map[int64]string) {},
+			})
+		case i%7 == 3:
+			n := int(8 + splitmix(&rng)%25)
+			ops := make([]BatchOp[string], n)
+			for j := range ops {
+				r := splitmix(&rng)
+				op := BatchOp[string]{Key: int64(r % keySpace)}
+				switch r >> 32 % 4 {
+				case 0:
+					op.Delete = true
+				case 1:
+					op.InsertOnly = true
+					op.Val = fmt.Sprintf("io%d.%d", i, j)
+				default:
+					op.Val = fmt.Sprintf("b%d.%d", i, j)
+				}
+				ops[j] = op
+			}
+			steps = append(steps, tapeStep{
+				name: fmt.Sprintf("%02d-batch%d", i, n),
+				mutate: func(d *DurableMap[string]) error {
+					_, err := d.ApplyBatch(ops)
+					return err
+				},
+				model: func(m map[int64]string) {
+					for _, op := range ops {
+						switch {
+						case op.Delete:
+							delete(m, op.Key)
+						case op.InsertOnly:
+							if _, ok := m[op.Key]; !ok {
+								m[op.Key] = op.Val
+							}
+						default:
+							m[op.Key] = op.Val
+						}
+					}
+				},
+			})
+		case i%7 == 5:
+			lo := int64(splitmix(&rng) % keySpace)
+			hi := lo + int64(splitmix(&rng)%40)
+			suffix := fmt.Sprintf("+r%d", i)
+			fn := func(k int64, v string) string { return v + suffix }
+			steps = append(steps, tapeStep{
+				name: fmt.Sprintf("%02d-range[%d,%d]", i, lo, hi),
+				mutate: func(d *DurableMap[string]) error {
+					_, err := d.RangeUpdate(lo, hi, fn)
+					return err
+				},
+				model: func(m map[int64]string) {
+					for k, v := range m {
+						if k >= lo && k <= hi {
+							m[k] = fn(k, v)
+						}
+					}
+				},
+			})
+		default:
+			r := splitmix(&rng)
+			k := int64(r % keySpace)
+			switch i % 3 {
+			case 0:
+				v := fmt.Sprintf("u%d", i)
+				steps = append(steps, tapeStep{
+					name: fmt.Sprintf("%02d-upsert%d", i, k),
+					mutate: func(d *DurableMap[string]) error {
+						_, err := d.Upsert(k, v)
+						return err
+					},
+					model: func(m map[int64]string) { m[k] = v },
+				})
+			case 1:
+				v := fmt.Sprintf("i%d", i)
+				steps = append(steps, tapeStep{
+					name: fmt.Sprintf("%02d-insert%d", i, k),
+					mutate: func(d *DurableMap[string]) error {
+						_, err := d.Insert(k, v)
+						return err
+					},
+					model: func(m map[int64]string) {
+						if _, ok := m[k]; !ok {
+							m[k] = v
+						}
+					},
+				})
+			default:
+				steps = append(steps, tapeStep{
+					name: fmt.Sprintf("%02d-remove%d", i, k),
+					mutate: func(d *DurableMap[string]) error {
+						_, err := d.Remove(k)
+						return err
+					},
+					model: func(m map[int64]string) { delete(m, k) },
+				})
+			}
+		}
+	}
+	return steps
+}
+
+// tapeHashes precomputes the model fingerprint after every tape prefix:
+// hashes[K] is the state after the first K steps.
+func tapeHashes(steps []tapeStep) []uint64 {
+	model := make(map[int64]string)
+	hashes := make([]uint64, len(steps)+1)
+	hashes[0] = modelHash(model)
+	for i, s := range steps {
+		s.model(model)
+		hashes[i+1] = modelHash(model)
+	}
+	return hashes
+}
+
+func crashDurableOpts(policy SyncPolicy, fs *wal.MemFS, seed uint64) []DurableOption {
+	return []DurableOption{
+		WithWALFS(fs),
+		WithSyncPolicy(policy),
+		// The background flusher would make interval-policy durability
+		// nondeterministic; an hour-long interval means only explicit
+		// barriers advance the durable frontier.
+		WithSyncInterval(time.Hour),
+		WithSegmentBytes(2048),
+		WithMapOptions(
+			WithTargetDataVectorSize(4),
+			WithTargetIndexVectorSize(4),
+			WithLayerCount(3),
+			WithSeed(seed|1),
+		),
+	}
+}
+
+// runCrashPoint executes one campaign point: run the tape with a crash armed
+// at filesystem op crashAt, settle, reopen, and verify the recovered state is
+// a durable model prefix. It reports whether the crash actually fired (false
+// means crashAt was beyond the workload's op count, i.e. the sweep is done).
+func runCrashPoint(t *testing.T, policy SyncPolicy, steps []tapeStep, hashes []uint64, seed uint64, crashAt int64) bool {
+	t.Helper()
+	fs := wal.NewMemFS(seed ^ uint64(crashAt)*0x9e3779b97f4a7c15)
+	opts := crashDurableOpts(policy, fs, seed)
+	d, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatalf("crashAt=%d: initial open: %v", crashAt, err)
+	}
+	fs.SetCrashAfter(crashAt) // armed only after open: sweep covers the tape
+
+	applied, durableLB, attempted := 0, 0, 0
+	for i, s := range steps {
+		attempted = i + 1
+		if err := s.mutate(d); err != nil {
+			break
+		}
+		applied = i + 1
+		if policy == SyncEveryCommit || s.barrier {
+			durableLB = i + 1
+		}
+	}
+	crashedInTape := fs.Crashed()
+	_ = d.Close() // fails after a crash; the map is dead either way
+	crashed := fs.Crashed()
+	switch {
+	case !crashed:
+		// Clean run: Close synced, so recovery must reproduce the final state.
+		durableLB = applied
+		attempted = applied
+	case !crashedInTape:
+		// The crash fired inside Close's final fsync: every step applied, but
+		// only the last barrier is promised durable.
+		attempted = applied
+	}
+	fs.Crash() // settle the disk image (no-op on a clean image)
+
+	d2, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatalf("crashAt=%d (crashed=%v): recovery open: %v", crashAt, crashed, err)
+	}
+	defer d2.Close()
+
+	got := durableHash(d2)
+	matched := -1
+	for k := durableLB; k <= attempted; k++ {
+		if got == hashes[k] {
+			matched = k
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("crashAt=%d policy=%v: recovered state (len=%d, info=%+v) matches no durable prefix in [%d,%d] (applied=%d)",
+			crashAt, policy, d2.Len(), d2.Recovery(), durableLB, attempted, applied)
+	}
+	if err := d2.CheckInvariants(); err != nil {
+		t.Fatalf("crashAt=%d: recovered map invariants: %v", crashAt, err)
+	}
+	verifyWALMetricIdentities(t, d2, -1)
+	return crashed
+}
+
+// sweepCrashPoints walks crash points c = 0, stride, 2*stride, … until a run
+// completes without crashing, returning how many points actually crashed.
+func sweepCrashPoints(t *testing.T, policy SyncPolicy, seed uint64, stride int64) int {
+	t.Helper()
+	steps := buildTape(seed)
+	hashes := tapeHashes(steps)
+	points := 0
+	for c := int64(0); ; c += stride {
+		if !runCrashPoint(t, policy, steps, hashes, seed, c) {
+			break
+		}
+		points++
+	}
+	return points
+}
+
+// TestCrashRecoveryDifferential is the campaign entry point: every sync
+// policy, every filesystem op boundary (stride 1; widened under -short), plus
+// a chaos variant that forces torn-write settlement of the unsynced suffix.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	policies := []struct {
+		name   string
+		policy SyncPolicy
+		seed   uint64
+	}{
+		{"every-commit", SyncEveryCommit, 0xc0ffee},
+		{"interval", SyncInterval, 0xdecade},
+		{"os", SyncOS, 0xfacade},
+	}
+	total := 0
+	var mu sync.Mutex
+	for _, p := range policies {
+		t.Run(p.name, func(t *testing.T) {
+			n := sweepCrashPoints(t, p.policy, p.seed, stride)
+			t.Logf("policy=%s: %d crash points verified", p.name, n)
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		})
+	}
+	t.Run("torn-writes", func(t *testing.T) {
+		// Force the settlement draw toward torn prefixes: every unsynced
+		// suffix tears, exercising the truncation path at every boundary.
+		chaos.Enable(chaos.Config{
+			Seed:      0x7041,
+			FailOneIn: 1,
+			Sites:     chaos.MaskOf(chaos.WALTornWrite),
+		})
+		defer chaos.Disable()
+		n := sweepCrashPoints(t, SyncInterval, 0x70417041, stride)
+		n += sweepCrashPoints(t, SyncEveryCommit, 0x70417042, stride)
+		t.Logf("torn-write variant: %d crash points verified", n)
+		mu.Lock()
+		total += n
+		mu.Unlock()
+	})
+	if !testing.Short() && total < 200 {
+		t.Fatalf("campaign covered only %d crash points, want >= 200", total)
+	}
+	t.Logf("campaign total: %d crash points", total)
+}
+
+// TestCompactionVsWritersChaos runs online compaction against concurrent
+// writers under chaos scheduling perturbation, with a snapshot pinned across
+// the compactions, then proves the compacted log recovers the full state and
+// that compaction pruned the superseded segments.
+func TestCompactionVsWritersChaos(t *testing.T) {
+	chaos.Enable(chaos.Config{
+		Seed:       0xcafe,
+		YieldOneIn: 16,
+		DelayOneIn: 2048,
+		Delay:      2 * time.Microsecond,
+		Sites:      chaos.AllSites(),
+	})
+	defer chaos.Disable()
+
+	fs := wal.NewMemFS(0xbeef)
+	opts := []DurableOption{
+		WithWALFS(fs),
+		WithSyncPolicy(SyncInterval),
+		WithSyncInterval(200 * time.Microsecond),
+		WithSegmentBytes(4096),
+		WithMapOptions(WithTargetDataVectorSize(8), WithLayerCount(3)),
+	}
+	d, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed some state on negative keys — disjoint from every writer stripe —
+	// then pin a snapshot that must stay frozen across every compaction below.
+	for k := int64(0); k < 64; k++ {
+		if _, err := d.Upsert(-(k + 1), fmt.Sprintf("seed%d", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned := d.Snapshot()
+	defer pinned.Close()
+	pinnedHash := snapshotHash(pinned)
+
+	const writers = 4
+	const opsPerWriter = 800
+	refs := make([]map[int64]string, writers)
+	var wg sync.WaitGroup
+	var writeErr error
+	var errMu sync.Mutex
+	for w := 0; w < writers; w++ {
+		refs[w] = make(map[int64]string)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b9 + 1
+			ref := refs[w]
+			for i := 0; i < opsPerWriter; i++ {
+				r := splitmix(&rng)
+				// Disjoint stripes: writer w owns keys ≡ w (mod writers),
+				// offset past the seeded keys' stripe.
+				k := int64(r%4000)*int64(writers) + int64(w) + 1
+				var err error
+				if r>>40%5 == 0 {
+					_, err = d.Remove(k)
+					delete(ref, k)
+				} else {
+					v := fmt.Sprintf("w%d.%d", w, i)
+					_, err = d.Upsert(k, v)
+					ref[k] = v
+				}
+				if err != nil {
+					errMu.Lock()
+					writeErr = err
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+
+	compactions := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if err := d.Compact(); err != nil {
+			t.Errorf("compact #%d: %v", compactions, err)
+			break
+		}
+		compactions++
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	wg.Wait()
+	if writeErr != nil {
+		t.Fatalf("writer failed: %v", writeErr)
+	}
+	if compactions < 2 {
+		t.Fatalf("only %d compactions overlapped the writers", compactions)
+	}
+	if h := snapshotHash(pinned); h != pinnedHash {
+		t.Fatal("pinned snapshot changed across online compactions")
+	}
+
+	// Quiescent final compaction: everything before it is superseded, so the
+	// directory must shrink to the manifest, the checkpoint, and the tail
+	// segment — superseded segments and checkpoints pruned.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if names := fs.FileNames(); len(names) > 3 {
+		t.Fatalf("compaction left unpruned files: %v", names)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	want := make(map[int64]string)
+	for k := int64(0); k < 64; k++ {
+		want[-(k + 1)] = fmt.Sprintf("seed%d", k)
+	}
+	for _, ref := range refs {
+		for k, v := range ref {
+			want[k] = v
+		}
+	}
+	// Every key is owned by exactly one writer (or the seed), so merging the
+	// per-writer reference maps yields the exact expected state.
+	if got, wantHash := durableHash(d2), modelHash(want); got != wantHash {
+		t.Fatalf("post-compaction recovery diverged: recovered %d keys, model %d", d2.Len(), len(want))
+	}
+	if err := d2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	verifyWALMetricIdentities(t, d2, -1)
+	if info := d2.Recovery(); info.CheckpointKeys == 0 {
+		t.Fatalf("recovery ignored the checkpoint: %+v", info)
+	}
+}
+
+func snapshotHash(s *Snapshot[string]) uint64 {
+	m := make(map[int64]string)
+	cur := s.Cursor(MinKey + 1)
+	for {
+		k, v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		m[k] = v
+	}
+	return modelHash(m)
+}
+
+// TestCrashDuringRecoveryTruncation arms crashes inside recovery itself: the
+// truncation write that repairs a torn tail is also a mutation, and a crash
+// there must leave a log the next open can still recover.
+func TestCrashDuringRecoveryTruncation(t *testing.T) {
+	steps := buildTape(0xabcdef)
+	hashes := tapeHashes(steps)
+	fs := wal.NewMemFS(0xabcdef)
+	opts := crashDurableOpts(SyncOS, fs, 0xabcdef)
+	d, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for i, s := range steps {
+		if err := s.mutate(d); err != nil {
+			t.Fatal(err)
+		}
+		applied = i + 1
+	}
+	_ = d.Close()
+	// Tear the tail by hand so recovery must truncate, then crash recovery at
+	// each of its own first few mutations.
+	names := fs.FileNames()
+	tail := names[len(names)-1]
+	if sz := fs.FileSize(tail); sz > 3 {
+		fs.Truncate(tail, sz-3)
+	}
+	for c := int64(0); ; c++ {
+		fs.SetCrashAfter(c)
+		d2, err := OpenDurable[string]("/db", StringCodec(), opts...)
+		crashed := fs.Crashed()
+		if err == nil {
+			d2.Close()
+		} else if !crashed && !errors.Is(err, wal.ErrCrashed) {
+			t.Fatalf("recovery crashAt=%d: unexpected error: %v", c, err)
+		}
+		if crashed {
+			fs.Crash()
+			continue
+		}
+		fs.SetCrashAfter(-1)
+		break
+	}
+	// Recovery now completes; the recovered state is some durable prefix.
+	d3, err := OpenDurable[string]("/db", StringCodec(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	got := durableHash(d3)
+	ok := false
+	for k := 0; k <= applied; k++ {
+		if got == hashes[k] {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("state after crashed recoveries matches no tape prefix (len=%d)", d3.Len())
+	}
+}

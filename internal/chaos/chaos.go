@@ -96,6 +96,18 @@ const (
 	// perturbation-only inside the copy-on-write publication window between
 	// the epoch advance and the version-store insert.
 	CoreSnapshot
+	// WALTornWrite is consulted by the WAL's crash-simulating filesystem when
+	// it discards unsynced bytes: a forced failure tears the last unsynced
+	// write to a byte prefix instead of dropping or keeping it whole, so
+	// recovery must truncate a mid-frame tail. Failure here drives the
+	// recovery/truncation path, never corruption of a synced prefix.
+	WALTornWrite
+	// WALCrashPoint perturbs the WAL's crash-critical transitions: before and
+	// after an fsync, between a checkpoint's segment writes, and on either
+	// side of the manifest rename that commits a compaction. Perturbation-only
+	// in production code; the crash campaign schedules actual kills at these
+	// same boundaries through the injected filesystem.
+	WALCrashPoint
 
 	// NumSites is the number of injection sites (array-sizing constant).
 	NumSites
@@ -132,6 +144,10 @@ func (s Site) String() string {
 		return "core.batch"
 	case CoreSnapshot:
 		return "core.snapshot"
+	case WALTornWrite:
+		return "wal.tornwrite"
+	case WALCrashPoint:
+		return "wal.crashpoint"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

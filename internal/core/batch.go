@@ -90,6 +90,7 @@ type batchScratch[V any] struct {
 	outs    []vectormap.SlotOutcome
 	segs    []*node[V]
 	segMins []int64
+	commits []CommitOp[V] // commit-hook argument buffer (commit.go)
 
 	// Group-to-group descent sharing (batchSeek): the previous group's
 	// rightmost segment with the clean version it was published at. Valid
@@ -110,6 +111,7 @@ type batchScratch[V any] struct {
 func (sc *batchScratch[V]) release() {
 	clear(sc.slots[:cap(sc.slots)])
 	clear(sc.segs[:cap(sc.segs)])
+	clear(sc.commits[:cap(sc.commits)])
 	sc.hintNode, sc.hintVer, sc.hintFails = nil, 0, 0
 }
 
@@ -553,6 +555,10 @@ func (m *Map[V]) batchGroupAttempt(
 	if last != curr {
 		lver = last.lock.Current()
 	}
+
+	// Commit hook fires under the lock whose release linearizes the group, so
+	// hook order matches group commit order for conflicting keys.
+	m.logBatchGroup(ctx, slots, outs)
 
 	// Single release: the group's linearization point.
 	fver := curr.lock.Release()

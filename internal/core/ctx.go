@@ -24,6 +24,12 @@ type opCtx[V any] struct {
 	stripe int
 	fing   finger[V]
 	batch  batchScratch[V] // reusable ApplyBatch buffers (contexts are pooled)
+
+	// walUnit tags commit-hook calls with the batch commit unit this context
+	// is executing (0 outside ApplyBatchLogged); commitScratch is the
+	// singleton hook's one-op argument buffer (see commit.go).
+	walUnit       uint64
+	commitScratch [1]CommitOp[V]
 }
 
 // splitmix64 advances the RNG and returns the next 64-bit value. It is the

@@ -208,6 +208,7 @@ func (m *Map[V]) applyInsert(
 		if !target.data.Insert(k, v) {
 			panic("core: insert into data chunk failed after absence check")
 		}
+		m.logPut(ctx, k, v) // before the release that publishes it (commit.go)
 		dver := d.lock.Release()
 		if target == d {
 			return d, dver
@@ -226,6 +227,7 @@ func (m *Map[V]) applyInsert(
 	inheritVerEpoch(d, nd)
 	nd.next.Store(d.next.Load())
 	d.next.Store(nd)
+	m.logPut(ctx, k, v) // the data write publishes here, not at the tower top
 	d.lock.Release()
 	m.stats.Splits.Add(1)
 

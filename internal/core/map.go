@@ -187,6 +187,11 @@ type Map[V any] struct {
 	batchGroupSize *telemetry.Histogram
 	snapChainLen   *telemetry.Histogram
 
+	// commitHook, when set, observes every effective mutation at its
+	// linearization point (commit.go). Read without synchronization on the
+	// write paths; must be installed before the map is shared.
+	commitHook CommitHook[V]
+
 	// MVCC snapshot state (snapshot.go): the global write epoch, the pinned
 	// snapshot registry, and the copy-on-write version store. With no
 	// snapshot pinned the only cost any write pays is one load of

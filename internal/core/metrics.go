@@ -103,6 +103,10 @@ func (m *Map[V]) Metrics() *telemetry.View {
 	return telemetry.NewView(m.reg, telemetry.Global)
 }
 
+// Registry exposes the map's own metric registry so callers can compose it
+// with others (the WAL's, say) into one view.
+func (m *Map[V]) Registry() *telemetry.Registry { return m.reg }
+
 // WriteMetrics renders the full metric catalog in Prometheus text exposition
 // format.
 func (m *Map[V]) WriteMetrics(w io.Writer) error {

@@ -111,6 +111,8 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 	stopped := false
 	var cowEpoch uint64
 	cowDecided := false
+	logging := mutate && m.commitHook != nil
+	rcommits := ctx.batch.commits[:0]
 	notePre := func(n *node[V]) {
 		if !cowDecided {
 			cowDecided = true
@@ -137,6 +139,9 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 					notePre(n)
 				}
 				n.data.Set(k, nv)
+				if logging {
+					rcommits = append(rcommits, CommitOp[V]{Key: k, Val: nv})
+				}
 			}
 			if !cont {
 				stopped = true
@@ -145,6 +150,16 @@ func (m *Map[V]) lockedRange(lo, hi int64, mutate bool, fn func(k int64, v *V) (
 			return true
 		})
 	}
+
+	// Commit hook: one CommitRange invocation with the whole update set,
+	// fired while every window lock is still held — the 2PL span is the
+	// operation's linearization point, so no conflicting write can order
+	// itself between the hook call and the releases below (commit.go).
+	if len(rcommits) > 0 {
+		m.commitHook(ctx.walUnit, CommitRange, rcommits)
+		clear(rcommits) // don't pin the values past the call
+	}
+	ctx.batch.commits = rcommits[:0]
 
 	// Shrink phase: release everything. Mutating ranges bump sequence
 	// numbers; read-only ranges restore the pre-lock words. The last window

@@ -117,6 +117,7 @@ func (m *Map[V]) removeAttempt(ctx *opCtx[V], k int64) (result, done bool) {
 	if _, found := curr.data.Remove(k); !found {
 		panic("core: data entry for indexed key missing under write lock")
 	}
+	m.logDel(ctx, k) // before the release that publishes it (commit.go)
 	fver := curr.lock.Release()
 	ctx.dropAll()
 	m.length.add(ctx.stripe, -1)
@@ -155,6 +156,7 @@ func (m *Map[V]) removeFromDataLayer(
 	}
 	_, removed := curr.data.Remove(k)
 	if removed {
+		m.logDel(ctx, k) // before the release that publishes it (commit.go)
 		fver := curr.lock.Release()
 		m.length.add(ctx.stripe, -1)
 		m.recordFinger(ctx, curr, fver)

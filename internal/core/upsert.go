@@ -60,6 +60,7 @@ func (m *Map[V]) setOnce(ctx *opCtx[V], k int64, v *V) (updated, done bool) {
 		m.noteDataWrite(curr)
 	}
 	if curr.data.Set(k, v) {
+		m.logPut(ctx, k, v) // before the release that publishes it (commit.go)
 		fver := curr.lock.Release()
 		m.recordFinger(ctx, curr, fver)
 		ctx.dropAll()

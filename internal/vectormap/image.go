@@ -1,0 +1,100 @@
+package vectormap
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Chunk images. The chunk is the skip vector's unit of locality, which makes
+// it the natural unit of serialization too: a checkpoint of the map is a
+// sequence of sorted chunk images, each one bulk-loadable without any
+// per-key descent. The image layout exploits the sortedness the checkpoint
+// walk guarantees — the first key is zigzag-encoded, every following key is
+// a strictly-positive delta, and values are length-prefixed byte strings:
+//
+//	count uvarint
+//	key[0] varint (zigzag)
+//	delta[i] = key[i] - key[i-1] uvarint, i ≥ 1 (always ≥ 1)
+//	for each i: len(val[i]) uvarint, val[i] bytes
+//
+// Runs of nearby keys — the common case, since images come from chunk-sized
+// windows of an ordered walk — compress to one or two bytes per key.
+
+// ErrBadImage reports a malformed or non-ascending chunk image.
+var ErrBadImage = errors.New("vectormap: bad chunk image")
+
+// maxImageKeys bounds a single image's key count against corrupted headers.
+const maxImageKeys = 1 << 24
+
+// AppendImage appends the serialized image of one sorted chunk to dst.
+// keys must be strictly ascending and len(vals) == len(keys).
+func AppendImage(dst []byte, keys []int64, vals [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	prev := int64(0)
+	for i, k := range keys {
+		if i == 0 {
+			dst = binary.AppendVarint(dst, k)
+		} else {
+			if k <= prev {
+				panic("vectormap: AppendImage keys not strictly ascending")
+			}
+			dst = binary.AppendUvarint(dst, uint64(k-prev))
+		}
+		prev = k
+	}
+	for _, v := range vals {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeImage parses one chunk image, appending its keys and values to the
+// provided slices (pass nil to allocate fresh ones). Returned values alias
+// freshly-allocated memory, never b. It validates strict key ascent, so a
+// corrupted image that still passes the log's CRC cannot smuggle an
+// out-of-order key into the bulk-load fast path.
+func DecodeImage(b []byte, keys []int64, vals [][]byte) ([]int64, [][]byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > maxImageKeys {
+		return keys, vals, ErrBadImage
+	}
+	b = b[n:]
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		var k int64
+		if i == 0 {
+			var n int
+			k, n = binary.Varint(b)
+			if n <= 0 {
+				return keys, vals, ErrBadImage
+			}
+			b = b[n:]
+		} else {
+			d, n := binary.Uvarint(b)
+			if n <= 0 || d == 0 {
+				return keys, vals, ErrBadImage
+			}
+			b = b[n:]
+			k = prev + int64(d)
+			if k <= prev { // overflow wrap
+				return keys, vals, ErrBadImage
+			}
+		}
+		keys = append(keys, k)
+		prev = k
+	}
+	for i := uint64(0); i < count; i++ {
+		vlen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < vlen {
+			return keys, vals, ErrBadImage
+		}
+		b = b[n:]
+		vals = append(vals, append([]byte(nil), b[:vlen]...))
+		b = b[vlen:]
+	}
+	if len(b) != 0 {
+		return keys, vals, ErrBadImage
+	}
+	return keys, vals, nil
+}

@@ -1,0 +1,147 @@
+// Package wal is the skip vector's durable chunk log: an append-only,
+// CRC32C-framed record log with group commit, checkpointing through pinned
+// snapshots, and crash recovery that replays through the bulk-load fast path.
+//
+// The log's unit of serialization mirrors the structure's unit of locality:
+// a checkpoint is a sequence of sorted chunk images (one frame per chunk-sized
+// key run), and the tail between checkpoints is the sequence of committed
+// operations in linearization order. Batch commit units map one-to-one onto
+// ApplyBatch calls — a unit's part frames are only replayed when its commit
+// marker made it to the log, so batch atomicity survives crashes.
+//
+// Layout of a log directory:
+//
+//	MANIFEST            — the segment catalog; swapped atomically by rename
+//	seg-%012d.wal       — op segments, replayed in manifest order
+//	ckpt-%012d.wal      — at most one live checkpoint of chunk images
+//
+// Everything goes through the FS interface so the crash campaign can run the
+// whole stack against an in-memory filesystem with injected kills and torn
+// writes (memfs.go); production uses the os-backed implementation below.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam. Implementations must make Rename atomic with
+// respect to crashes (the manifest swap relies on it) and must persist a
+// file's contents on Sync.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the file names (not paths) inside dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+}
+
+// File is the per-file handle surface the log needs: sequential append
+// writes, random reads for recovery, fsync, and close.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Size returns the file's current length in bytes.
+	Size() (int64, error)
+	// Sync forces the file's contents to stable storage.
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS, a thin veneer over package os.
+type osFS struct{}
+
+// OSFS returns the operating-system-backed filesystem.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	// Persist the directory entry: without this a crash can forget the
+	// rename even though both files' contents were fsynced.
+	return syncDir(filepath.Dir(newname))
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// osFile adapts *os.File to the File interface.
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error)             { return o.f.Write(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osFile) Sync() error                             { return o.f.Sync() }
+func (o osFile) Close() error                            { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,363 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"skipvector/internal/chaos"
+)
+
+// ErrCrashed is returned by every MemFS operation after the scheduled crash
+// point has been reached, modeling a killed process whose file descriptors
+// are gone. The durable image survives for the post-crash reopen.
+var ErrCrashed = errors.New("wal: filesystem crashed (injected)")
+
+// MemFS is an in-memory filesystem with power-failure semantics, built for
+// the crash-injection campaign. It distinguishes the volatile page cache
+// (every write lands there) from stable storage (only Sync promotes bytes),
+// and it can schedule a deterministic crash at the Nth mutating operation:
+//
+//   - Once the crash fires, every operation returns ErrCrashed — the process
+//     is dead as far as the log is concerned.
+//   - Crash() then settles the disk image: unsynced bytes are kept, dropped,
+//     or torn to a byte prefix per a seeded draw (consulting the
+//     chaos.WALTornWrite site when chaos is enabled), renames that had not
+//     reached the directory are rolled back, and the filesystem reopens for
+//     the recovery run.
+//
+// Sweeping N across a workload visits every write/sync/rename boundary the
+// log crosses — including mid-fsync and mid-manifest-swap — which is how the
+// campaign gets its crash points without subprocesses.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	crashIn int64 // ops until crash; <0 disarmed
+	crashed bool
+	seed    uint64
+	opCount int64
+}
+
+type memFile struct {
+	current []byte // volatile contents (page cache)
+	synced  int64  // prefix length known to be on stable storage
+	// renamedFrom tracks an unsynced-rename rollback target: when the file
+	// appeared via Rename after the last crash settlement, a crash may
+	// resurrect the old name. The os implementation fsyncs the directory on
+	// rename, so renames are modeled durable; kept for documentation only.
+}
+
+// NewMemFS builds an empty in-memory filesystem. seed drives every
+// crash-settlement draw, making each campaign point reproducible.
+func NewMemFS(seed uint64) *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+		seed:    seed,
+		crashIn: -1, // disarmed until SetCrashAfter
+	}
+}
+
+// SetCrashAfter arms the crash: the (n+1)th subsequent mutating operation
+// (Write, Sync, Create, Rename, Remove, Truncate) fails with ErrCrashed, as
+// does everything after it. n < 0 disarms.
+func (fs *MemFS) SetCrashAfter(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashIn = n
+	if n < 0 {
+		fs.crashIn = -1
+	}
+}
+
+// Ops returns the number of mutating operations performed so far; sweeping
+// SetCrashAfter over [0, Ops) visits every crash boundary of a workload.
+func (fs *MemFS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.opCount
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (fs *MemFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Crash settles the post-crash disk image and reopens the filesystem for
+// recovery. For every file, synced bytes survive; the unsynced suffix is
+// kept whole, dropped, or torn to a strict prefix — the OS may have written
+// back any amount of the page cache before the power went out. The draw is
+// seeded, and the torn case additionally fires when the chaos layer forces
+// a chaos.WALTornWrite failure.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rng := fs.seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic settlement order
+	for _, name := range names {
+		f := fs.files[name]
+		unsynced := int64(len(f.current)) - f.synced
+		if unsynced <= 0 {
+			f.current = f.current[:f.synced]
+			continue
+		}
+		keep := unsynced
+		torn := chaos.Fail(chaos.WALTornWrite)
+		switch d := next() % 4; {
+		case torn || d == 0:
+			// Torn: a strict prefix of the unsynced suffix survives.
+			keep = int64(next() % uint64(unsynced))
+		case d == 1:
+			keep = 0 // nothing written back
+		default:
+			// Kept whole: background writeback got there in time.
+		}
+		f.current = f.current[:f.synced+keep]
+		f.synced = int64(len(f.current))
+	}
+	fs.crashed = false
+	fs.crashIn = -1
+}
+
+// step charges one mutating operation against the crash schedule. It returns
+// ErrCrashed once the boundary is reached.
+func (fs *MemFS) step() error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.opCount++
+	if fs.crashIn >= 0 {
+		if fs.crashIn == 0 {
+			fs.crashed = true
+			return ErrCrashed
+		}
+		fs.crashIn--
+	}
+	return nil
+}
+
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	fs.files[path.Clean(name)] = f
+	return &memHandle{fs: fs, f: f}, nil
+}
+
+func (fs *MemFS) OpenAppend(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("wal: memfs: open %s: no such file", name)
+	}
+	return &memHandle{fs: fs, f: f}, nil
+}
+
+func (fs *MemFS) Open(name string) (File, error) {
+	return fs.OpenAppend(name) // reads share the handle type; writers are trusted
+}
+
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	prefix := path.Clean(dir) + "/"
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			rest := name[len(prefix):]
+			if !strings.Contains(rest, "/") {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	f, ok := fs.files[path.Clean(oldname)]
+	if !ok {
+		return fmt.Errorf("wal: memfs: rename %s: no such file", oldname)
+	}
+	// Modeled durable, matching osFS's rename + directory fsync. The crash
+	// boundary can still land immediately before this op (rename never
+	// happened) or after it (rename fully visible) — both campaign cases.
+	delete(fs.files, path.Clean(oldname))
+	fs.files[path.Clean(newname)] = f
+	return nil
+}
+
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	if _, ok := fs.files[path.Clean(name)]; !ok {
+		return fmt.Errorf("wal: memfs: remove %s: no such file", name)
+	}
+	delete(fs.files, path.Clean(name))
+	return nil
+}
+
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("wal: memfs: truncate %s: no such file", name)
+	}
+	if size < int64(len(f.current)) {
+		f.current = f.current[:size]
+		if f.synced > size {
+			f.synced = size
+		}
+	}
+	return nil
+}
+
+// Corrupt flips one bit at offset off of name's durable image; used by the
+// replay fuzzer and the recovery tests. It bypasses the crash schedule.
+func (fs *MemFS) Corrupt(name string, off int64, bit uint8) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("wal: memfs: corrupt %s: no such file", name)
+	}
+	if off < 0 || off >= int64(len(f.current)) {
+		return fmt.Errorf("wal: memfs: corrupt %s: offset %d out of range", name, off)
+	}
+	f.current[off] ^= 1 << (bit % 8)
+	return nil
+}
+
+// FileNames lists every file currently present, sorted; for test assertions
+// about pruning.
+func (fs *MemFS) FileNames() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileSize returns the current length of name, or -1 when absent.
+func (fs *MemFS) FileSize(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return -1
+	}
+	return int64(len(f.current))
+}
+
+// memHandle is a MemFS file handle; appends only (matching the log's use).
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.step(); err != nil {
+		// The dying write may still tear a prefix into the page cache; the
+		// crash settlement decides how much of it reaches the disk image.
+		if len(p) > 0 {
+			h.f.current = append(h.f.current, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	h.f.current = append(h.f.current, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(h.f.current)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.current[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	return int64(len(h.f.current)), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.step(); err != nil {
+		// A crash mid-fsync leaves it unknown how much reached the platter;
+		// the settlement draw in Crash covers the spectrum.
+		return err
+	}
+	h.f.synced = int64(len(h.f.current))
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

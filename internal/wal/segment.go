@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// The manifest is the log's root pointer: a tiny text file listing the live
+// checkpoint (at most one) and the op segments in replay order. It is only
+// ever replaced whole — written to a temporary name, fsynced, then renamed
+// over MANIFEST — so a crash leaves either the old catalog or the new one,
+// never a mix. Files in the directory that the manifest does not reference
+// are garbage from an interrupted rotation or compaction and are deleted on
+// the next open.
+//
+//	svwal v1
+//	checkpoint ckpt-000000000003.wal
+//	segment seg-000000000004.wal
+//	segment seg-000000000005.wal
+//	crc 1a2b3c4d
+//
+// The trailing crc line (CRC32C of everything above it) guards against a
+// torn manifest on filesystems whose rename is weaker than advertised; a
+// manifest that fails it is a hard recovery error rather than silent data
+// loss.
+
+const manifestName = "MANIFEST"
+
+type manifest struct {
+	checkpoint string   // "" when none
+	segments   []string // replay order; the last one is the append tail
+}
+
+func segmentName(id uint64) string { return fmt.Sprintf("seg-%012d.wal", id) }
+func ckptName(id uint64) string    { return fmt.Sprintf("ckpt-%012d.wal", id) }
+
+// fileID extracts the numeric id from a seg-/ckpt- file name; ok=false for
+// foreign names.
+func fileID(name string) (uint64, bool) {
+	base := strings.TrimSuffix(name, ".wal")
+	if base == name {
+		return 0, false
+	}
+	var num string
+	switch {
+	case strings.HasPrefix(base, "seg-"):
+		num = base[len("seg-"):]
+	case strings.HasPrefix(base, "ckpt-"):
+		num = base[len("ckpt-"):]
+	default:
+		return 0, false
+	}
+	id, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// encode renders the manifest body including its crc trailer.
+func (mf *manifest) encode() []byte {
+	var b bytes.Buffer
+	b.WriteString("svwal v1\n")
+	if mf.checkpoint != "" {
+		fmt.Fprintf(&b, "checkpoint %s\n", mf.checkpoint)
+	}
+	for _, s := range mf.segments {
+		fmt.Fprintf(&b, "segment %s\n", s)
+	}
+	fmt.Fprintf(&b, "crc %08x\n", crc32.Checksum(b.Bytes(), castagnoli))
+	return b.Bytes()
+}
+
+// parseManifest validates and decodes a manifest body.
+func parseManifest(data []byte) (*manifest, error) {
+	idx := bytes.LastIndex(data, []byte("\ncrc "))
+	if idx < 0 {
+		return nil, fmt.Errorf("wal: manifest: missing crc trailer")
+	}
+	body := data[:idx+1]
+	trailer := strings.TrimSpace(string(data[idx+1:]))
+	want, err := strconv.ParseUint(strings.TrimPrefix(trailer, "crc "), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("wal: manifest: bad crc trailer %q", trailer)
+	}
+	if crc32.Checksum(body, castagnoli) != uint32(want) {
+		return nil, fmt.Errorf("wal: manifest: crc mismatch")
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	if !sc.Scan() || sc.Text() != "svwal v1" {
+		return nil, fmt.Errorf("wal: manifest: bad header")
+	}
+	mf := &manifest{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "checkpoint "):
+			if mf.checkpoint != "" {
+				return nil, fmt.Errorf("wal: manifest: duplicate checkpoint line")
+			}
+			mf.checkpoint = strings.TrimPrefix(line, "checkpoint ")
+		case strings.HasPrefix(line, "segment "):
+			mf.segments = append(mf.segments, strings.TrimPrefix(line, "segment "))
+		default:
+			return nil, fmt.Errorf("wal: manifest: unknown line %q", line)
+		}
+	}
+	if len(mf.segments) == 0 {
+		return nil, fmt.Errorf("wal: manifest: no segments")
+	}
+	return mf, nil
+}
+
+// writeManifest atomically replaces dir/MANIFEST with mf: write a temporary
+// file, fsync it, rename into place. fs.Rename is required to be atomic and
+// (matching osFS) to persist the directory entry.
+func writeManifest(fs FS, dir string, mf *manifest) error {
+	tmp := path.Join(dir, manifestName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(mf.encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path.Join(dir, manifestName))
+}
+
+// readManifest loads and parses dir/MANIFEST. missing=true (with err==nil)
+// means the file does not exist — a fresh directory.
+func readManifest(fs FS, dir string) (mf *manifest, missing bool, err error) {
+	f, err := fs.Open(path.Join(dir, manifestName))
+	if err != nil {
+		// The FS seam has no typed not-found error; distinguish a fresh
+		// directory by listing it.
+		names, lerr := fs.ReadDir(dir)
+		if lerr != nil {
+			return nil, false, err
+		}
+		for _, n := range names {
+			if n == manifestName {
+				return nil, false, err // exists but unreadable
+			}
+		}
+		return nil, true, nil
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, false, err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil {
+			return nil, false, err
+		}
+	}
+	mf, err = parseManifest(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return mf, false, nil
+}

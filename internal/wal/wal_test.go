@@ -1,0 +1,491 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fs FS, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	opts.FS = fs
+	l, rec, err := Open("/db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func put(k int64, v string) Op { return Op{Key: k, Val: []byte(v)} }
+func del(k int64) Op           { return Op{Key: k, Del: true} }
+func ops(o ...Op) []Op         { return o }
+func sameOps(a, b []Op) bool   { return reflect.DeepEqual(normOps(a), normOps(b)) }
+func normOps(o []Op) []Op {
+	out := make([]Op, len(o))
+	for i, op := range o {
+		out[i] = op
+		if len(op.Val) == 0 {
+			out[i].Val = nil
+		}
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := ops(put(1, "one"), del(-42), put(1<<60, ""), del(7))
+	payload := encodeOps(nil, in)
+	r, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatalf("decodeRecord: %v", err)
+	}
+	if r.Kind != kindOps || r.Unit != 0 || !sameOps(r.Ops, in) {
+		t.Fatalf("round trip mismatch: %+v", r)
+	}
+
+	part := encodeBatchPart(nil, 99, in)
+	r, err = decodeRecord(part)
+	if err != nil {
+		t.Fatalf("decode part: %v", err)
+	}
+	if r.Kind != kindBatchPart || r.Unit != 99 || !sameOps(r.Ops, in) {
+		t.Fatalf("part mismatch: %+v", r)
+	}
+
+	commit := encodeBatchCommit(nil, 99)
+	r, err = decodeRecord(commit)
+	if err != nil || r.Kind != kindBatchCommit || r.Unit != 99 {
+		t.Fatalf("commit mismatch: %+v err=%v", r, err)
+	}
+
+	// Checkpoint kinds are not op-segment records.
+	if _, err := decodeRecord(encodeCheckpointStart(nil)); !errors.Is(err, errBadFrame) {
+		t.Fatalf("checkpoint frame in op segment should be rejected, got %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	mf := &manifest{checkpoint: "ckpt-000000000003.wal",
+		segments: []string{"seg-000000000004.wal", "seg-000000000005.wal"}}
+	got, err := parseManifest(mf.encode())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, mf) {
+		t.Fatalf("round trip: got %+v want %+v", got, mf)
+	}
+
+	// Any bit flip must be caught by the crc trailer.
+	enc := mf.encode()
+	for off := 0; off < len(enc); off++ {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x10
+		if _, err := parseManifest(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+}
+
+func TestFileID(t *testing.T) {
+	for name, want := range map[string]uint64{
+		segmentName(7): 7, ckptName(123): 123,
+	} {
+		if id, ok := fileID(name); !ok || id != want {
+			t.Fatalf("fileID(%s) = %d,%v", name, id, ok)
+		}
+	}
+	for _, name := range []string{"MANIFEST", "seg-x.wal", "foo.wal", "seg-1.txt"} {
+		if _, ok := fileID(name); ok {
+			t.Fatalf("fileID(%s) accepted", name)
+		}
+	}
+}
+
+func TestAppendRecoverBasic(t *testing.T) {
+	fs := NewMemFS(1)
+	l, rec := mustOpen(t, fs, Options{})
+	if len(rec.Tail) != 0 || rec.Truncated {
+		t.Fatalf("fresh recovery not empty: %+v", rec)
+	}
+	want := [][]Op{
+		ops(put(1, "a"), put(2, "b")),
+		ops(del(1)),
+		ops(put(3, "c")),
+	}
+	for _, o := range want {
+		if err := l.AppendOps(o); err != nil {
+			t.Fatalf("AppendOps: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := mustOpen(t, fs, Options{})
+	defer l2.Close()
+	if rec2.Truncated || rec2.ScannedRecords != 3 || rec2.ReplayedRecords != 3 {
+		t.Fatalf("recovery: %+v", rec2)
+	}
+	if len(rec2.Tail) != len(want) {
+		t.Fatalf("tail: %d records, want %d", len(rec2.Tail), len(want))
+	}
+	for i, r := range rec2.Tail {
+		if !sameOps(r.Ops, want[i]) {
+			t.Fatalf("record %d: %+v want %+v", i, r.Ops, want[i])
+		}
+	}
+}
+
+func TestBatchUnitAtomicity(t *testing.T) {
+	fs := NewMemFS(2)
+	l, _ := mustOpen(t, fs, Options{})
+
+	// Committed unit: parts + marker.
+	u1 := l.BeginUnit()
+	l.AppendBatchPart(u1, ops(put(1, "a")))
+	l.AppendBatchPart(u1, ops(put(2, "b")))
+	l.EndUnit(u1)
+
+	// Orphaned unit: parts, no marker (the writer died mid-batch).
+	u2 := l.BeginUnit()
+	l.AppendBatchPart(u2, ops(put(3, "x")))
+	l.unitMu.RUnlock() // abandon without EndUnit
+
+	l.Sync()
+	l.Close()
+
+	l2, rec := mustOpen(t, fs, Options{})
+	if rec.ScannedRecords != 4 || rec.ReplayedRecords != 3 || rec.DroppedRecords != 1 {
+		t.Fatalf("counts: %+v", rec)
+	}
+	if len(rec.Tail) != 2 {
+		t.Fatalf("tail: %d records, want 2 committed parts", len(rec.Tail))
+	}
+	for _, r := range rec.Tail {
+		if r.Unit != u1 {
+			t.Fatalf("uncommitted unit leaked into tail: %+v", r)
+		}
+	}
+	// A new unit in the next life must not collide with the orphaned id.
+	if u := l2.BeginUnit(); u <= u2 {
+		t.Fatalf("unit id %d reused (orphan was %d)", u, u2)
+	}
+	l2.unitMu.RUnlock()
+	l2.Close()
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	fs := NewMemFS(3)
+	l, _ := mustOpen(t, fs, Options{})
+	l.AppendOps(ops(put(1, "a")))
+	l.AppendOps(ops(put(2, "b")))
+	l.Sync()
+	goodSize := fs.FileSize("/db/" + l.mf.segments[0])
+	l.AppendOps(ops(put(3, "c")))
+	l.Close()
+	seg := "/db/" + segmentName(1)
+
+	// Tear the last record to a strict prefix, as a crash would.
+	fs.Truncate(seg, goodSize+5)
+
+	l2, rec := mustOpen(t, fs, Options{})
+	if !rec.Truncated || rec.TruncatedOffset != goodSize || rec.TruncatedBytes != 5 {
+		t.Fatalf("truncation: %+v (goodSize %d)", rec, goodSize)
+	}
+	if rec.ScannedRecords != 2 || len(rec.Tail) != 2 {
+		t.Fatalf("scan after tear: %+v", rec)
+	}
+	if sz := fs.FileSize(seg); sz != goodSize {
+		t.Fatalf("torn tail not cut: size %d want %d", sz, goodSize)
+	}
+	// Appends continue cleanly after the cut.
+	l2.AppendOps(ops(put(4, "d")))
+	l2.Sync()
+	l2.Close()
+
+	l3, rec3 := mustOpen(t, fs, Options{})
+	defer l3.Close()
+	if rec3.Truncated || len(rec3.Tail) != 3 {
+		t.Fatalf("second recovery: %+v", rec3)
+	}
+}
+
+func TestBitFlipTruncates(t *testing.T) {
+	// A flipped bit anywhere in a record's frame truncates at that record,
+	// keeping everything before it. Probe every byte of the second record.
+	sizer := NewMemFS(4)
+	{
+		l, _ := mustOpen(t, sizer, Options{})
+		l.AppendOps(ops(put(1, "aaaa")))
+		l.Close()
+	}
+	firstSize := sizer.FileSize("/db/" + segmentName(1))
+	for off := int64(0); ; off++ {
+		fs := NewMemFS(4)
+		l, _ := mustOpen(t, fs, Options{})
+		l.AppendOps(ops(put(1, "aaaa")))
+		l.AppendOps(ops(put(2, "bbbb")))
+		l.Sync()
+		l.Close()
+		seg := "/db/" + segmentName(1)
+		if firstSize+off >= fs.FileSize(seg) {
+			break // past the end of the second record
+		}
+		if err := fs.Corrupt(seg, firstSize+off, uint8(off)); err != nil {
+			t.Fatalf("corrupt at +%d: %v", off, err)
+		}
+		_, rec := mustOpen(t, fs, Options{})
+		if !rec.Truncated || rec.TruncatedOffset != firstSize {
+			t.Fatalf("flip at +%d: %+v (want cut at %d)", off, rec, firstSize)
+		}
+		if rec.ScannedRecords != 1 || len(rec.Tail) != 1 || rec.Tail[0].Ops[0].Key != 1 {
+			t.Fatalf("flip at +%d: surviving tail wrong: %+v", off, rec)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fs := NewMemFS(5)
+	l, _ := mustOpen(t, fs, Options{SegmentBytes: 64})
+	const n = 20
+	for i := 0; i < n; i++ {
+		l.AppendOps(ops(put(int64(i), "0123456789abcdef")))
+	}
+	l.Sync()
+	if len(l.mf.segments) < 3 {
+		t.Fatalf("expected rotation, manifest has %d segments", len(l.mf.segments))
+	}
+	l.Close()
+
+	_, rec := mustOpen(t, fs, Options{SegmentBytes: 64})
+	if rec.Truncated || len(rec.Tail) != n {
+		t.Fatalf("recovery across segments: %d records, truncated=%v", len(rec.Tail), rec.Truncated)
+	}
+	for i, r := range rec.Tail {
+		if r.Ops[0].Key != int64(i) {
+			t.Fatalf("record %d out of order: key %d", i, r.Ops[0].Key)
+		}
+	}
+}
+
+func writeCheckpoint(t *testing.T, l *Log, chunks ...[]int64) {
+	t.Helper()
+	cw, err := l.BeginCheckpoint(func() {})
+	if err != nil {
+		t.Fatalf("BeginCheckpoint: %v", err)
+	}
+	for _, keys := range chunks {
+		vals := make([][]byte, len(keys))
+		for i, k := range keys {
+			vals[i] = []byte(fmt.Sprintf("v%d", k))
+		}
+		if err := cw.WriteChunk(keys, vals); err != nil {
+			t.Fatalf("WriteChunk: %v", err)
+		}
+	}
+	if err := cw.Commit(); err != nil {
+		t.Fatalf("checkpoint Commit: %v", err)
+	}
+}
+
+func TestCheckpointSwapAndPrune(t *testing.T) {
+	fs := NewMemFS(6)
+	l, _ := mustOpen(t, fs, Options{SegmentBytes: 64})
+	for i := 0; i < 10; i++ {
+		l.AppendOps(ops(put(int64(i), "0123456789abcdef")))
+	}
+	before := len(fs.FileNames())
+	writeCheckpoint(t, l, []int64{1, 2, 3}, []int64{10, 20})
+	// Records appended after the checkpoint boundary belong to the tail.
+	l.AppendOps(ops(put(100, "post")))
+	l.Sync()
+
+	// Everything before the boundary must be pruned: the files on disk are
+	// exactly the manifest's references (+MANIFEST itself).
+	names := fs.FileNames()
+	if len(names) >= before {
+		t.Fatalf("no pruning: %d files before, %v after", before, names)
+	}
+	live := map[string]bool{"/db/MANIFEST": true, "/db/" + l.mf.checkpoint: true}
+	for _, s := range l.mf.segments {
+		live["/db/"+s] = true
+	}
+	for _, n := range names {
+		if !live[n] {
+			t.Fatalf("unreferenced file survived pruning: %s (live: %v)", n, l.mf.segments)
+		}
+	}
+	l.Close()
+
+	_, rec := mustOpen(t, fs, Options{})
+	if got := len(rec.CheckpointKeys); got != 5 {
+		t.Fatalf("checkpoint keys: %d want 5", got)
+	}
+	for i, k := range []int64{1, 2, 3, 10, 20} {
+		if rec.CheckpointKeys[i] != k || string(rec.CheckpointVals[i]) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("checkpoint entry %d: %d=%q", i, rec.CheckpointKeys[i], rec.CheckpointVals[i])
+		}
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].Ops[0].Key != 100 {
+		t.Fatalf("post-checkpoint tail: %+v", rec.Tail)
+	}
+}
+
+func TestCheckpointAbort(t *testing.T) {
+	fs := NewMemFS(7)
+	l, _ := mustOpen(t, fs, Options{})
+	l.AppendOps(ops(put(1, "a")))
+	cw, err := l.BeginCheckpoint(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.WriteChunk([]int64{1}, [][]byte{[]byte("a")})
+	cw.Abort()
+	l.Sync()
+	l.Close()
+
+	_, rec := mustOpen(t, fs, Options{})
+	if len(rec.CheckpointKeys) != 0 {
+		t.Fatalf("aborted checkpoint visible: %+v", rec.CheckpointKeys)
+	}
+	if len(rec.Tail) != 1 {
+		t.Fatalf("tail lost: %+v", rec)
+	}
+}
+
+func TestCheckpointCorruptionIsFatal(t *testing.T) {
+	fs := NewMemFS(8)
+	l, _ := mustOpen(t, fs, Options{})
+	l.AppendOps(ops(put(1, "a")))
+	writeCheckpoint(t, l, []int64{1, 2, 3})
+	ckpt := "/db/" + l.mf.checkpoint
+	l.Close()
+
+	if err := fs.Corrupt(ckpt, fs.FileSize(ckpt)/2, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open("/db", Options{FS: fs})
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt checkpoint: got %v", err)
+	}
+}
+
+func TestGCUnreferencedFiles(t *testing.T) {
+	fs := NewMemFS(9)
+	l, _ := mustOpen(t, fs, Options{})
+	l.AppendOps(ops(put(1, "a")))
+	l.Sync()
+	l.Close()
+
+	// Plant strays: an orphaned segment, checkpoint, and manifest temp.
+	for _, name := range []string{"/db/" + segmentName(999), "/db/" + ckptName(998), "/db/MANIFEST.tmp"} {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("junk"))
+		f.Close()
+	}
+	l2, rec := mustOpen(t, fs, Options{})
+	defer l2.Close()
+	if rec.Truncated {
+		t.Fatalf("strays caused truncation: %+v", rec)
+	}
+	for _, n := range fs.FileNames() {
+		if n == "/db/"+segmentName(999) || n == "/db/"+ckptName(998) || n == "/db/MANIFEST.tmp" {
+			t.Fatalf("stray survived gc: %s", n)
+		}
+	}
+	// The id allocator skipped past the stray's id.
+	if l2.nextID <= 999 {
+		t.Fatalf("nextID %d did not skip past stray id 999", l2.nextID)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncEveryCommit, SyncInterval, SyncOS} {
+		t.Run(policy.String(), func(t *testing.T) {
+			fs := NewMemFS(10)
+			l, _ := mustOpen(t, fs, Options{Policy: policy})
+			l.AppendOps(ops(put(1, "a")))
+			if err := l.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+			if policy == SyncEveryCommit && l.durableLSN.Load() != l.tailLSN.Load() {
+				t.Fatalf("commit did not sync: durable %d tail %d", l.durableLSN.Load(), l.tailLSN.Load())
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// Close syncs under every policy; a clean shutdown loses nothing.
+			_, rec := mustOpen(t, fs, Options{Policy: policy})
+			if len(rec.Tail) != 1 {
+				t.Fatalf("clean shutdown lost records: %+v", rec)
+			}
+		})
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	fs := NewMemFS(11)
+	l, _ := mustOpen(t, fs, Options{})
+	l.Close()
+	if err := l.AppendOps(ops(put(1, "a"))); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+func TestPoisonSticks(t *testing.T) {
+	fs := NewMemFS(12)
+	l, _ := mustOpen(t, fs, Options{})
+	l.AppendOps(ops(put(1, "a")))
+	fs.SetCrashAfter(0) // every subsequent FS mutation fails
+	err1 := l.AppendOps(ops(put(2, "b")))
+	// The first failing append may have been absorbed by buffering; at the
+	// latest the sync surfaces it.
+	err2 := l.Sync()
+	if err1 == nil && err2 == nil {
+		t.Fatal("no error surfaced after FS failure")
+	}
+	if err := l.Err(); err == nil {
+		t.Fatal("log not poisoned")
+	}
+	if err := l.AppendOps(ops(put(3, "c"))); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+}
+
+func TestMemFSCrashSettlement(t *testing.T) {
+	// Synced bytes always survive a crash; unsynced bytes never grow.
+	fs := NewMemFS(13)
+	f, _ := fs.Create("/f")
+	f.Write(bytes.Repeat([]byte("s"), 100))
+	f.Sync()
+	f.Write(bytes.Repeat([]byte("u"), 100))
+	fs.SetCrashAfter(0)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write past crash: %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	fs.Crash()
+	sz := fs.FileSize("/f")
+	if sz < 100 || sz > 201 {
+		t.Fatalf("settled size %d outside [synced, written]", sz)
+	}
+	// The synced prefix is intact.
+	h, _ := fs.Open("/f")
+	buf := make([]byte, 100)
+	h.ReadAt(buf, 0)
+	if !bytes.Equal(buf, bytes.Repeat([]byte("s"), 100)) {
+		t.Fatal("synced prefix damaged by crash settlement")
+	}
+}

@@ -1,0 +1,191 @@
+// Package walbench holds the durability-cost sweep. It lives outside
+// internal/bench because it drives the public durable-map API: internal/bench
+// is imported by the root package's own tests, so importing the root package
+// from there would cycle.
+package walbench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sv "skipvector"
+	"skipvector/internal/bench"
+	"skipvector/internal/workload"
+)
+
+// Interval-fsync durability gate. With SyncInterval the log acknowledges
+// writes immediately and fsyncs on a background ticker, so the durable map's
+// write path adds only the commit-hook encode and an in-memory log append to
+// the in-memory ApplyBatch — the fsync is off the critical path. On the
+// sequential batch-64 workload (the chunk-grouping sweet spot, one log record
+// per chunk run) that overhead must stay under half the total cost:
+// WALIntervalRatioFloor gates the durable/interval seq/64 row of the
+// paper-scale artifact (BENCH_wal.json) at ≥ 0.5× the in-memory row. A lower
+// ratio means the logging path regressed — encode allocations, appendMu
+// contention, or fsync leaking back under the commit. The per-commit-fsync
+// rows are expected to be storage-bound and are reported to quantify that
+// cost, not gated.
+const WALIntervalRatioFloor = 0.5
+
+// walBatchSizes mirrors internal/bench's batch-update sweep sizes.
+var walBatchSizes = []int{8, 64, 256}
+
+// FigWAL measures what durability costs: sequential batched upserts through
+// the in-memory map versus the durable map under each sync policy, at batch
+// sizes 8/64/256. Throughput counts keys, not batches; the "vs memory"
+// column is the ratio against the in-memory row at the same batch size. The
+// durable rows run against the real filesystem in a temp directory — fsync
+// latency is the phenomenon under test, so an in-memory filesystem would
+// measure nothing.
+func FigWAL(s bench.Scale) (*bench.Table, error) {
+	keyRange := bench.Pow2(s.SensitivityRangeExp)
+	window := keyRange / 64
+	if window < 512 {
+		window = 512
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Durability cost: seq batched upserts (keys/s), %d threads, 2^%d keys",
+			s.SensitivityThreads, s.SensitivityRangeExp),
+		"variant/size", []string{"keys/s", "vs memory"})
+
+	variants := []struct {
+		name   string
+		policy sv.SyncPolicy
+		mem    bool
+	}{
+		{name: "memory", mem: true},
+		{name: "durable/interval", policy: sv.SyncInterval},
+		{name: "durable/os", policy: sv.SyncOS},
+		{name: "durable/commit", policy: sv.SyncEveryCommit},
+	}
+	baseline := make(map[int]float64)
+	for _, v := range variants {
+		for _, size := range walBatchSizes {
+			var sum float64
+			for rep := 0; rep < s.Reps; rep++ {
+				cfg := bench.TrialConfig{
+					Threads:   s.SensitivityThreads,
+					Duration:  s.Duration,
+					KeyRange:  keyRange,
+					Mix:       workload.Mix{InsertPct: 100},
+					SeqWindow: window,
+					Seed:      s.Seed + uint64(rep)*0x9e37,
+				}
+				r, err := runWALTrial(cfg, size, v.mem, v.policy)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%d: %w", v.name, size, err)
+				}
+				sum += r.Throughput
+			}
+			tput := sum / float64(s.Reps)
+			if v.mem {
+				baseline[size] = tput
+			}
+			ratio := 0.0
+			if b := baseline[size]; b > 0 {
+				ratio = tput / b
+			}
+			t.AddRow(fmt.Sprintf("%s/%d", v.name, size), []float64{tput, ratio})
+		}
+	}
+	return t, nil
+}
+
+// runWALTrial runs one timed trial: cfg.Threads workers repeatedly draw
+// batchSize sequential-window keys and commit them through one ApplyBatch
+// call, against either the bare in-memory map or a durable map opened on a
+// fresh temp directory with the given sync policy.
+func runWALTrial(cfg bench.TrialConfig, batchSize int, mem bool, policy sv.SyncPolicy) (bench.TrialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return bench.TrialResult{}, err
+	}
+
+	var (
+		apply   func(ops []sv.BatchOp[int64]) error
+		cleanup func()
+	)
+	if mem {
+		m := sv.New[int64]()
+		apply = func(ops []sv.BatchOp[int64]) error {
+			m.ApplyBatch(ops)
+			return nil
+		}
+		cleanup = func() {}
+	} else {
+		dir, err := os.MkdirTemp("", "svwal-bench-*")
+		if err != nil {
+			return bench.TrialResult{}, err
+		}
+		d, err := sv.OpenDurable[int64](dir, sv.Int64Codec(), sv.WithSyncPolicy(policy))
+		if err != nil {
+			os.RemoveAll(dir)
+			return bench.TrialResult{}, err
+		}
+		apply = func(ops []sv.BatchOp[int64]) error {
+			_, err := d.ApplyBatch(ops)
+			return err
+		}
+		cleanup = func() {
+			d.Close()
+			os.RemoveAll(dir)
+		}
+	}
+	defer cleanup()
+
+	var (
+		stop     atomic.Bool
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+		counts   = make([]int64, cfg.Threads)
+		firstErr atomic.Value
+	)
+	root := workload.NewRNG(cfg.Seed ^ 0x4a1)
+	start.Add(1)
+	for t := 0; t < cfg.Threads; t++ {
+		rng := root.Split()
+		keys := workload.NewSeqWindow(rng, cfg.KeyRange, cfg.SeqWindow)
+		done.Add(1)
+		go func(id int, keys workload.KeyGen) {
+			defer done.Done()
+			ops := make([]sv.BatchOp[int64], batchSize)
+			start.Wait()
+			var local int64
+			for !stop.Load() {
+				for i := range ops {
+					k := keys.Next()
+					ops[i] = sv.BatchOp[int64]{Key: k, Val: k}
+				}
+				if err := apply(ops); err != nil {
+					firstErr.Store(err)
+					return
+				}
+				local += int64(batchSize)
+			}
+			counts[id] = local
+		}(t, keys)
+	}
+
+	begin := time.Now()
+	start.Done()
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+	if err, ok := firstErr.Load().(error); ok {
+		return bench.TrialResult{}, err
+	}
+
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return bench.TrialResult{
+		Ops:        total,
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}

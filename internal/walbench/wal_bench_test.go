@@ -1,0 +1,59 @@
+package walbench
+
+import (
+	"math"
+
+	"skipvector/internal/bench"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigWALQuick smoke-checks the durability-cost sweep: every variant/size
+// row reports usable throughput, the memory rows carry ratio 1.0, and the
+// durable/interval rows clear a loosened version of the
+// WALIntervalRatioFloor gate. Quick-scale trials on shared CI storage jitter
+// wildly (and per-commit fsync cost is storage-dependent by design), so the
+// hard ≥0.5 gate applies to the checked-in paper-scale artifact
+// (BENCH_wal.json); here interval rows must only stay above a fraction of it.
+func TestFigWALQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := bench.QuickScale()
+	s.Duration = 100 * time.Millisecond
+	s.Reps = 1
+	tb, err := FigWAL(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := tb.Col("keys/s")
+	ratio := tb.Col("vs memory")
+	if tput < 0 || ratio < 0 {
+		t.Fatalf("wal sweep missing columns: %v", tb.Columns)
+	}
+	if len(tb.XValues) != 4*len(walBatchSizes) {
+		t.Fatalf("wal sweep rows = %d, want %d", len(tb.XValues), 4*len(walBatchSizes))
+	}
+	for i, label := range tb.XValues {
+		kps, r := tb.Cells[i][tput], tb.Cells[i][ratio]
+		if kps <= 0 || math.IsNaN(kps) || math.IsInf(kps, 0) {
+			t.Fatalf("row %q reports no usable throughput: %v", label, kps)
+		}
+		switch {
+		case strings.HasPrefix(label, "memory/"):
+			if r != 1.0 {
+				t.Errorf("row %q: memory baseline ratio = %v, want 1.0", label, r)
+			}
+		case strings.HasPrefix(label, "durable/interval/"):
+			if quickFloor := WALIntervalRatioFloor * 0.3; r < quickFloor {
+				t.Errorf("row %q: durable/memory = %.3f, below quick-scale floor %.2f (gate %.2f)",
+					label, r, quickFloor, WALIntervalRatioFloor)
+			}
+		default:
+			if r <= 0 {
+				t.Errorf("row %q reports no ratio: %v", label, r)
+			}
+		}
+	}
+}
