@@ -22,6 +22,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"skipvector/internal/bench"
@@ -40,10 +42,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, hotpath, fanout, wal, all")
+		fig      = fs.String("fig", "all", "figure to run: 1, 4, 5, 7a, 7b, 8, hp, merge, mem, blt, finger, batch, snapshot, hotpath, fanout, wal, shard, all")
 		scale    = fs.String("scale", "paper", "experiment scale: quick or paper")
 		duration = fs.Duration("duration", 0, "override per-trial duration")
 		reps     = fs.Int("reps", 0, "override repetitions per cell")
+		threads  = fs.String("threads", "", "override the thread-count axis (comma-separated, e.g. 1,2,4,8)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut  = fs.String("json", "", "also write the emitted tables to this file as JSON")
 		metrics  = fs.String("metrics", "", "serve Prometheus metrics on this address (e.g. :8090) while figures run; implies telemetry recording")
@@ -103,6 +106,17 @@ func run(args []string) error {
 	}
 	if *reps > 0 {
 		s.Reps = *reps
+	}
+	if *threads != "" {
+		ts, err := parseThreads(*threads)
+		if err != nil {
+			return err
+		}
+		s.Threads = ts
+		s.YCSBThreads = ts
+		if n := ts[len(ts)-1]; n > 0 {
+			s.SensitivityThreads = n
+		}
 	}
 
 	var emitted []*bench.Table
@@ -221,6 +235,12 @@ func run(args []string) error {
 				return err
 			}
 			emit(t)
+		case "shard":
+			ts, err := bench.FigShard(s)
+			if err != nil {
+				return err
+			}
+			emit(ts...)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -228,7 +248,7 @@ func run(args []string) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot", "hotpath", "fanout", "wal"} {
+		for _, name := range []string{"1", "4", "5", "7a", "7b", "8", "hp", "merge", "mem", "blt", "finger", "batch", "snapshot", "hotpath", "fanout", "wal", "shard"} {
 			if err := runFig(name); err != nil {
 				return err
 			}
@@ -239,4 +259,20 @@ func run(args []string) error {
 		return err
 	}
 	return writeJSON()
+}
+
+// parseThreads parses the -threads axis override ("1,2,4,8").
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -threads element %q (want positive ints, comma-separated)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -threads list")
+	}
+	return out, nil
 }

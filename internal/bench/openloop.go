@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"skipvector/internal/workload"
+)
+
+// Open-loop load generation. The closed-loop trial (RunTrial) measures
+// capacity: workers issue the next op the instant the previous one returns,
+// so a slow op silently delays every op queued behind it and per-op timings
+// understate tail latency — the coordinated-omission trap. The open-loop
+// trial measures latency under a fixed arrival rate instead: each worker
+// follows a precomputed arrival schedule, and every op's latency is measured
+// from its SCHEDULED arrival time, not from when the worker got around to
+// issuing it. An op that waits behind a stalled predecessor is charged the
+// queueing delay it actually imposed on its notional client, so tail
+// percentiles reflect what an outside observer would see.
+
+// OpenLoopConfig describes one fixed-rate latency trial.
+type OpenLoopConfig struct {
+	// Threads is the number of load-generator goroutines; the total Rate is
+	// divided evenly among them.
+	Threads int
+	// Rate is the total arrival rate across all workers, ops/second.
+	Rate float64
+	// Duration is the generation interval (measurement stops with it).
+	Duration time.Duration
+	// KeyRange is the key-space size; keys are drawn from [0,KeyRange).
+	KeyRange int64
+	// UpsertPct of ops are upserts; the rest are lookups.
+	UpsertPct int
+	// Zipf, if nonzero, draws keys Zipfian with this theta instead of
+	// uniformly.
+	Zipf float64
+	// Seed makes the trial deterministic.
+	Seed uint64
+	// SkipPrefill leaves the structure empty rather than half-full.
+	SkipPrefill bool
+}
+
+// Validate checks the trial parameters.
+func (c *OpenLoopConfig) Validate() error {
+	switch {
+	case c.Threads < 1:
+		return fmt.Errorf("bench: Threads %d < 1", c.Threads)
+	case c.Rate <= 0:
+		return fmt.Errorf("bench: Rate %v <= 0", c.Rate)
+	case c.Duration <= 0:
+		return fmt.Errorf("bench: non-positive duration")
+	case c.KeyRange < 2:
+		return fmt.Errorf("bench: KeyRange %d < 2", c.KeyRange)
+	case c.UpsertPct < 0 || c.UpsertPct > 100:
+		return fmt.Errorf("bench: UpsertPct %d outside [0,100]", c.UpsertPct)
+	}
+	return nil
+}
+
+// OpenLoopResult reports one fixed-rate trial: how much of the offered load
+// completed and the completion-latency percentiles, measured from scheduled
+// arrival.
+type OpenLoopResult struct {
+	Scheduled int64 // ops the schedule offered inside Duration
+	Completed int64 // ops that finished (all of them — workers drain the backlog)
+	Achieved  float64
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+	Max       time.Duration
+}
+
+// RunOpenLoop drives m at cfg.Rate for cfg.Duration and returns the latency
+// distribution. Workers run through pinned sessions when available (the
+// sessions must be BatchWriters when UpsertPct > 0, which both skip vector
+// adapters are).
+func RunOpenLoop(m IntMap, cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return OpenLoopResult{}, err
+	}
+	if !cfg.SkipPrefill {
+		Prefill(m, cfg.KeyRange, cfg.Seed, cfg.Threads)
+	}
+
+	interval := float64(time.Second) / (cfg.Rate / float64(cfg.Threads))
+	root := workload.NewRNG(cfg.Seed ^ 0x0be11)
+	var sharedZipf *workload.ZipfKeys
+	if cfg.Zipf > 0 {
+		sharedZipf = workload.NewZipfKeys(root.Split(), cfg.KeyRange, cfg.Zipf, cfg.Seed)
+	}
+
+	hists := make([]*latHist, cfg.Threads)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		rng := root.Split()
+		var keys workload.KeyGen
+		if sharedZipf != nil {
+			keys = sharedZipf.WithRNG(rng)
+		} else {
+			keys = workload.NewUniform(rng, cfg.KeyRange)
+		}
+		h := newLatHist()
+		hists[t] = h
+		wg.Add(1)
+		go func(rng *workload.RNG, keys workload.KeyGen, h *latHist) {
+			defer wg.Done()
+			view := m
+			if sp, ok := m.(Sessioner); ok {
+				sess := sp.NewSession()
+				defer sess.Close()
+				view = sess
+			}
+			up, _ := view.(BatchWriter)
+			var issued int64
+			for {
+				sched := begin.Add(time.Duration(float64(issued) * interval))
+				// Generation stops when the next arrival falls past the trial
+				// window; ops already scheduled are always issued and
+				// measured, however late — that backlog IS the tail.
+				if sched.Sub(begin) >= cfg.Duration {
+					return
+				}
+				if wait := time.Until(sched); wait > 0 {
+					time.Sleep(wait)
+				}
+				k := keys.Next()
+				if up != nil && int(rng.Intn(100)) < cfg.UpsertPct {
+					up.Upsert(k, uint64(k))
+				} else {
+					view.Lookup(k)
+				}
+				h.observe(int64(time.Since(sched)))
+				issued++
+			}
+		}(rng, keys, h)
+	}
+	wg.Wait()
+
+	merged := newLatHist()
+	for _, h := range hists {
+		merged.merge(h)
+	}
+	res := OpenLoopResult{
+		Scheduled: merged.count,
+		Completed: merged.count,
+		Achieved:  float64(merged.count) / time.Since(begin).Seconds(),
+		P50:       time.Duration(merged.percentile(0.50)),
+		P95:       time.Duration(merged.percentile(0.95)),
+		P99:       time.Duration(merged.percentile(0.99)),
+		P999:      time.Duration(merged.percentile(0.999)),
+		Max:       time.Duration(merged.max),
+	}
+	return res, nil
+}
+
+// latHist is an HDR-style log-linear histogram over nanosecond latencies:
+// exact below 2^latSubBits, then latSubBuckets linear sub-buckets per
+// power-of-two octave, bounding the relative quantization error of any
+// reported percentile at 1/latSubBuckets (6.25%) while spanning the full
+// int64 range in ~1 KiB of counters.
+type latHist struct {
+	counts []int64
+	count  int64
+	max    int64
+}
+
+const (
+	latSubBits    = 4
+	latSubBuckets = 1 << latSubBits // 16
+	// Octaves latSubBits..62 each contribute latSubBuckets buckets on top of
+	// the exact low range.
+	latBuckets = latSubBuckets + (63-latSubBits)*latSubBuckets
+)
+
+func newLatHist() *latHist { return &latHist{counts: make([]int64, latBuckets)} }
+
+// latBucket maps a nanosecond value to its bucket index.
+func latBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < latSubBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // ≥ latSubBits
+	sub := int(v>>(exp-latSubBits)) & (latSubBuckets - 1)
+	i := (exp-latSubBits+1)*latSubBuckets + sub
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	return i
+}
+
+// latUpper is the inclusive upper bound of bucket i — the value percentile
+// reports, so quantization only ever rounds a percentile up, never down.
+func latUpper(i int) int64 {
+	if i < latSubBuckets {
+		return int64(i)
+	}
+	o := i/latSubBuckets - 1 + latSubBits // octave exponent
+	sub := int64(i%latSubBuckets) + latSubBuckets
+	return (sub+1)<<(o-latSubBits) - 1
+}
+
+func (h *latHist) observe(v int64) {
+	h.counts[latBucket(v)]++
+	h.count++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// percentile returns the q-quantile's bucket upper bound, clamped to the
+// observed maximum (the top bucket's bound can exceed it).
+func (h *latHist) percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if ub := latUpper(i); ub < h.max {
+				return ub
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipvector/internal/workload"
+)
+
+// Sharding gates. The shards×threads sweep (FigShard) reports every cell's
+// throughput as a ratio against the 1-shard baseline at the same thread
+// count, and two constants turn the ratios into acceptance criteria:
+//
+// ShardParityFloor is the router-overhead guard: no shards×threads cell may
+// fall below 0.95× the 1-shard baseline. Routing costs one atomic load and a
+// short binary search per op, and per-shard structures are smaller, so
+// sharding must never be a pessimization — a cell below the floor on a
+// paper-scale run (BENCH_shard.json) means the router or the per-shard
+// sizing regressed. The floor binds on cells whose worker count the host
+// can schedule (threads ≤ NumCPU): oversubscribed cells measure scheduler
+// time-slicing, not routing cost, and their ratios jitter tens of percent
+// in either direction on a loaded host (all ratios are still reported).
+//
+// ShardScaleoutTarget is the scale-out gate: with 8 shards and 8 threads on
+// uniform keys, throughput must reach ≥3× the 1-shard/8-thread baseline.
+// This gate is machine-aware (ShardScaleoutEnforceable): the speedup comes
+// from threads on different cores committing into disjoint shards in
+// parallel, so it is enforced only where the hardware can actually
+// parallelize 8 workers. On fewer cores — including the 1-vCPU reference
+// environment EXPERIMENTS.md documents — the measured ratio is still
+// reported in every artifact, but only the parity floor is enforced:
+// goroutine counts above NumCPU measure contention, not parallel speedup,
+// and no honest measurement reaches 3× on one core.
+const (
+	ShardParityFloor    = 0.95
+	ShardScaleoutTarget = 3.0
+)
+
+// shardScaleoutCell is the shards/threads point the scale-out gate reads.
+const shardScaleoutCell = 8
+
+// ShardScaleoutEnforceable reports whether this machine can host the
+// scale-out gate's premise: at least 8 schedulable cores for the 8 workers.
+func ShardScaleoutEnforceable() bool {
+	return runtime.NumCPU() >= shardScaleoutCell && runtime.GOMAXPROCS(0) >= shardScaleoutCell
+}
+
+// FigShard runs the shards×threads scaling sweep: a 50/50 upsert+get
+// workload (closed loop, sessions pinned) over the sharded skip vector at
+// every shard count and thread count of the scale, on uniform and Zipfian
+// key distributions, one table per distribution. Each row reports the cell's
+// throughput, its ratio against the 1-shard baseline at the same thread
+// count (the column the gates read), and the open-loop p99/p999 completion
+// latency at half the cell's measured capacity — fixed arrival schedule,
+// latencies charged from scheduled arrival, so the tail includes queueing
+// delay (coordinated-omission-safe).
+func FigShard(s Scale) ([]*Table, error) {
+	keyRange := Pow2(s.SensitivityRangeExp)
+	shardCounts := s.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	dists := []struct {
+		name string
+		zipf float64
+	}{
+		{"uniform", 0},
+		{"zipf", 0.9},
+	}
+	var out []*Table
+	for _, dist := range dists {
+		t := NewTable(
+			fmt.Sprintf("Sharding: 50/50 upsert+get, %s keys, 2^%d key range",
+				dist.name, s.SensitivityRangeExp),
+			"threads/shards", []string{"ops/s", "x-vs-1shard", "p99-us", "p999-us"})
+		for _, threads := range s.Threads {
+			base := 0.0
+			for _, shards := range shardCounts {
+				var tp float64
+				for rep := 0; rep < s.Reps; rep++ {
+					res, err := runShardTrial(NewShardedSV(keyRange, shards), shardTrialConfig{
+						Threads:  threads,
+						Duration: s.Duration,
+						KeyRange: keyRange,
+						Zipf:     dist.zipf,
+						Seed:     s.Seed + uint64(rep)*0x9e37,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("shard %s T%d/S%d: %w", dist.name, threads, shards, err)
+					}
+					tp += res.Throughput
+				}
+				tp /= float64(s.Reps)
+				if shards == shardCounts[0] {
+					base = tp
+				}
+				ratio := 0.0
+				if base > 0 {
+					ratio = tp / base
+				}
+				// Open-loop tail at half the measured capacity: a stable
+				// operating point where p99 reflects service jitter and
+				// routing cost, not saturation collapse.
+				ol, err := RunOpenLoop(NewShardedSV(keyRange, shards), OpenLoopConfig{
+					Threads:   threads,
+					Rate:      tp / 2,
+					Duration:  s.Duration,
+					KeyRange:  keyRange,
+					UpsertPct: 50,
+					Zipf:      dist.zipf,
+					Seed:      s.Seed ^ 0x01e7,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("shard open-loop %s T%d/S%d: %w", dist.name, threads, shards, err)
+				}
+				t.AddRow(fmt.Sprintf("T%d/S%d", threads, shards), []float64{
+					tp,
+					ratio,
+					float64(ol.P99) / float64(time.Microsecond),
+					float64(ol.P999) / float64(time.Microsecond),
+				})
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// shardTrialConfig parameterizes one closed-loop 50/50 upsert+get trial.
+type shardTrialConfig struct {
+	Threads  int
+	Duration time.Duration
+	KeyRange int64
+	Zipf     float64
+	Seed     uint64
+}
+
+// runShardTrial is RunTrial's sibling for the sharding sweep: a 50/50
+// upsert/lookup mix through pinned sessions. Upserts (rather than the set
+// mix's inserts) keep the map at the prefill level for the whole trial —
+// every write does chunk work regardless of key presence — which is the
+// steady-state a sharded store serves.
+func runShardTrial(m IntMap, cfg shardTrialConfig) (TrialResult, error) {
+	if cfg.Threads < 1 || cfg.Duration <= 0 || cfg.KeyRange < 2 {
+		return TrialResult{}, fmt.Errorf("bench: bad shard trial config %+v", cfg)
+	}
+	sp, ok := m.(Sessioner)
+	if !ok {
+		return TrialResult{}, fmt.Errorf("bench: %T offers no sessions; the shard trial needs them", m)
+	}
+	Prefill(m, cfg.KeyRange, cfg.Seed, cfg.Threads)
+
+	var (
+		stop   atomic.Bool
+		start  sync.WaitGroup
+		done   sync.WaitGroup
+		counts = make([]int64, cfg.Threads)
+	)
+	root := workload.NewRNG(cfg.Seed ^ 0xabcdef)
+	var sharedZipf *workload.ZipfKeys
+	if cfg.Zipf > 0 {
+		sharedZipf = workload.NewZipfKeys(root.Split(), cfg.KeyRange, cfg.Zipf, cfg.Seed)
+	}
+	start.Add(1)
+	for t := 0; t < cfg.Threads; t++ {
+		rng := root.Split()
+		var keys workload.KeyGen
+		if sharedZipf != nil {
+			keys = sharedZipf.WithRNG(rng)
+		} else {
+			keys = workload.NewUniform(rng, cfg.KeyRange)
+		}
+		done.Add(1)
+		go func(id int, rng *workload.RNG, keys workload.KeyGen) {
+			defer done.Done()
+			sess := sp.NewSession()
+			defer sess.Close()
+			bw, ok := sess.(BatchWriter)
+			if !ok {
+				panic(fmt.Sprintf("bench: %T sessions cannot upsert", m))
+			}
+			start.Wait()
+			var local int64
+			for !stop.Load() {
+				for i := 0; i < 64; i++ {
+					k := keys.Next()
+					if rng.Intn(2) == 0 {
+						bw.Upsert(k, uint64(k))
+					} else {
+						sess.Lookup(k)
+					}
+					local++
+				}
+			}
+			counts[id] = local
+		}(t, rng, keys)
+	}
+
+	begin := time.Now()
+	start.Done()
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return TrialResult{
+		Ops:        total,
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}

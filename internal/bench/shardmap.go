@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strconv"
+
+	"skipvector/internal/core"
+	"skipvector/internal/shard"
+	"skipvector/internal/telemetry"
+)
+
+// shardedMap adapts shard.Sharded to the harness interfaces. Each shard is
+// sized for its slice of the key space (keyRange/shards expected keys at the
+// prefill level), so the sharded variant pays for its shard count in fixed
+// overhead, not in oversized towers.
+type shardedMap struct {
+	s *shard.Sharded[uint64]
+}
+
+// NewShardedSV builds a key-range sharded skip vector over [0, keyRange)
+// with evenly spaced boundaries.
+func NewShardedSV(keyRange int64, shards int) IntMap {
+	per := keyRange / int64(shards)
+	if per < 2 {
+		per = 2
+	}
+	cfg := svConfig(per, 32, 32, core.ReclaimHazard)
+	s, err := shard.New[uint64](cfg, shard.EvenBounds(0, keyRange, shards))
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return &shardedMap{s: s}
+}
+
+// ShardedVariant names a sharded skip vector for sweep legends.
+func ShardedVariant(shards int) Variant {
+	return Variant{
+		Name: "SV-SHARD-" + strconv.Itoa(shards),
+		New:  func(r int64) IntMap { return NewShardedSV(r, shards) },
+	}
+}
+
+var (
+	_ IntMap    = (*shardedMap)(nil)
+	_ RangeMap  = (*shardedMap)(nil)
+	_ Sessioner = (*shardedMap)(nil)
+	_ Metricser = (*shardedMap)(nil)
+)
+
+func (s *shardedMap) Insert(k int64, v uint64) bool { return s.s.Insert(k, &v) }
+
+func (s *shardedMap) Lookup(k int64) (uint64, bool) {
+	p, ok := s.s.Lookup(k)
+	if !ok {
+		return 0, false
+	}
+	return *p, true
+}
+
+func (s *shardedMap) Remove(k int64) bool { return s.s.Remove(k) }
+
+func (s *shardedMap) Len() int { return s.s.Len() }
+
+func (s *shardedMap) RangeUpdate(lo, hi int64, fn func(k int64, v uint64) uint64) int {
+	return s.s.RangeUpdate(lo, hi, func(k int64, v *uint64) *uint64 {
+		nv := fn(k, *v)
+		return &nv
+	})
+}
+
+// Metrics rolls the router registry and every shard's labeled registry (plus
+// the process-global instruments) into one view.
+func (s *shardedMap) Metrics() *telemetry.View { return s.s.Metrics() }
+
+// NewSession pins a per-worker sharded handle: one core session per shard the
+// worker touches, lazily opened, so per-shard key locality becomes finger
+// hits exactly as on the single map.
+func (s *shardedMap) NewSession() Session {
+	return &shardSession{owner: s, h: s.s.NewHandle()}
+}
+
+// shardSession is a worker-pinned view of a sharded skip vector.
+type shardSession struct {
+	owner *shardedMap
+	h     *shard.Handle[uint64]
+	ops   []core.BatchOp[uint64]
+}
+
+var _ BatchWriter = (*shardSession)(nil)
+
+func (ss *shardSession) Insert(k int64, v uint64) bool { return ss.h.Insert(k, &v) }
+
+func (ss *shardSession) Upsert(k int64, v uint64) bool { return ss.h.Upsert(k, &v) }
+
+func (ss *shardSession) UpsertBatch(ks []int64) {
+	ops := ss.ops[:0]
+	vals := make([]uint64, len(ks))
+	for i, k := range ks {
+		vals[i] = uint64(k)
+		ops = append(ops, core.BatchOp[uint64]{Key: k, Val: &vals[i]})
+	}
+	ss.ops = ops
+	ss.h.ApplyBatch(ops)
+}
+
+func (ss *shardSession) Lookup(k int64) (uint64, bool) {
+	p, ok := ss.h.Lookup(k)
+	if !ok {
+		return 0, false
+	}
+	return *p, true
+}
+
+func (ss *shardSession) Remove(k int64) bool { return ss.h.Remove(k) }
+
+func (ss *shardSession) Len() int { return ss.owner.Len() }
+
+func (ss *shardSession) Close() { ss.h.Close() }

@@ -89,6 +89,12 @@ type Config struct {
 	// zero value keeps the finger enabled; disabling exists for ablation
 	// benchmarks and as an escape hatch.
 	DisableFinger bool
+	// MetricLabels are constant label name/value pairs attached to every
+	// series of the map's metric registry. Nil (the default) leaves series
+	// unlabeled. A sharded deployment labels each shard's map (shard="3") so
+	// a combined telemetry.View over all shards exports distinct series
+	// instead of N colliding copies of each name.
+	MetricLabels []string
 }
 
 // DefaultConfig returns the paper's general-purpose tuning (Section V-A):
@@ -120,6 +126,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: MergeFactor %v outside (0,2]", c.MergeFactor)
 	case c.Reclaim != ReclaimHazard && c.Reclaim != ReclaimLeak:
 		return fmt.Errorf("core: invalid ReclaimMode %d", c.Reclaim)
+	case len(c.MetricLabels)%2 != 0:
+		return fmt.Errorf("core: MetricLabels has %d elements; need name/value pairs", len(c.MetricLabels))
 	}
 	return nil
 }

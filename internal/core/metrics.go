@@ -13,7 +13,7 @@ import (
 // that would sit on per-operation paths — the descent-depth histogram and the
 // freeze counter — are telemetry-native and gated on the global enable flag.
 func (m *Map[V]) initMetrics() {
-	r := telemetry.NewRegistry()
+	r := telemetry.NewLabeledRegistry(m.cfg.MetricLabels...)
 	m.reg = r
 
 	m.descentDepth = r.Histogram("sv_descent_depth",

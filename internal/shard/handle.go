@@ -1,0 +1,127 @@
+package shard
+
+import "skipvector/internal/core"
+
+// Handle is a per-goroutine session over the sharded map: it lazily pins one
+// core handle per shard, so a caller with key locality gets the same search
+// finger benefits a single-map Handle gives — the finger lives in the shard
+// the caller's keys keep landing in. Like the core Handle it is NOT safe for
+// concurrent use; open one per goroutine (the sharded map itself remains
+// fully concurrent).
+//
+// A Handle pins the boundary table it was opened against, so its routing is
+// stable for its whole lifetime even across a concurrent rebalance swap.
+type Handle[V any] struct {
+	t      *table[V]
+	s      *Sharded[V]
+	shards []*core.Handle[V] // lazily opened, indexed by shard
+}
+
+// NewHandle opens a session against the current boundary table. Close it.
+func (s *Sharded[V]) NewHandle() *Handle[V] {
+	t := s.tab.Load()
+	return &Handle[V]{t: t, s: s, shards: make([]*core.Handle[V], len(t.maps))}
+}
+
+// Close releases every per-shard session. Idempotent.
+func (h *Handle[V]) Close() {
+	for i, sh := range h.shards {
+		if sh != nil {
+			sh.Close()
+			h.shards[i] = nil
+		}
+	}
+}
+
+// at returns the pinned session for shard i, opening it on first use: a
+// caller whose keys stay inside one shard never pays for contexts in the
+// others.
+func (h *Handle[V]) at(i int) *core.Handle[V] {
+	if h.shards[i] == nil {
+		h.shards[i] = h.t.maps[i].NewHandle()
+	}
+	return h.shards[i]
+}
+
+// Lookup is Sharded.Lookup through the pinned sessions.
+func (h *Handle[V]) Lookup(k int64) (*V, bool) {
+	return h.at(h.t.indexOf(k)).Lookup(k)
+}
+
+// Contains is Sharded.Contains through the pinned sessions.
+func (h *Handle[V]) Contains(k int64) bool {
+	return h.at(h.t.indexOf(k)).Contains(k)
+}
+
+// Insert is Sharded.Insert through the pinned sessions.
+func (h *Handle[V]) Insert(k int64, v *V) bool {
+	return h.at(h.t.indexOf(k)).Insert(k, v)
+}
+
+// Upsert is Sharded.Upsert through the pinned sessions.
+func (h *Handle[V]) Upsert(k int64, v *V) bool {
+	return h.at(h.t.indexOf(k)).Upsert(k, v)
+}
+
+// Remove is Sharded.Remove through the pinned sessions.
+func (h *Handle[V]) Remove(k int64) bool {
+	return h.at(h.t.indexOf(k)).Remove(k)
+}
+
+// ApplyBatch is Sharded.ApplyBatch with the single-shard fast path routed
+// through the pinned session (finger-resumable); batches that span shards
+// fall back to the map-level fan-out, whose parallel parts cannot share one
+// session anyway.
+func (h *Handle[V]) ApplyBatch(ops []core.BatchOp[V]) []core.BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	si := h.t.indexOf(ops[0].Key)
+	for i := 1; i < len(ops); i++ {
+		if h.t.indexOf(ops[i].Key) != si {
+			return h.s.ApplyBatch(ops)
+		}
+	}
+	h.s.singleBatch.Add(1)
+	return h.at(si).ApplyBatch(ops)
+}
+
+// Floor is Sharded.Floor through the pinned sessions.
+func (h *Handle[V]) Floor(k int64) (int64, *V, bool) {
+	for i := h.t.indexOf(k); i >= 0; i-- {
+		if fk, v, ok := h.at(i).Floor(k); ok {
+			return fk, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Ceiling is Sharded.Ceiling through the pinned sessions.
+func (h *Handle[V]) Ceiling(k int64) (int64, *V, bool) {
+	for i := h.t.indexOf(k); i < len(h.t.maps); i++ {
+		if ck, v, ok := h.at(i).Ceiling(k); ok {
+			return ck, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// First returns the smallest key across all shards.
+func (h *Handle[V]) First() (int64, *V, bool) {
+	for i := range h.t.maps {
+		if k, v, ok := h.at(i).First(); ok {
+			return k, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Last returns the largest key across all shards.
+func (h *Handle[V]) Last() (int64, *V, bool) {
+	for i := len(h.t.maps) - 1; i >= 0; i-- {
+		if k, v, ok := h.at(i).Last(); ok {
+			return k, v, true
+		}
+	}
+	return 0, nil, false
+}

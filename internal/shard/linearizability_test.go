@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"skipvector/internal/core"
+	"skipvector/internal/lincheck"
+)
+
+// This file machine-checks the sharded facade's consistency contract at both
+// scopes the package doc promises:
+//
+//   - Point operations are linearizable across the whole sharded map: the
+//     router adds one atomic table load, and each op then linearizes inside
+//     its shard, so cross-boundary concurrent histories must still pass the
+//     whole-map checker.
+//   - Batches and range windows confined to ONE shard inherit that shard's
+//     atomicity (a single-chunk config commits a batch as one unit).
+//   - Cross-shard batches are NOT atomic as a unit but ARE per-key exact:
+//     sequential replay through the lincheck model pins outcomes and final
+//     state of the fan-out paths (contiguous and scattered).
+
+// lcOutcome converts a core batch outcome to the lincheck enum.
+func lcOutcome(o core.BatchOutcome) lincheck.BatchOutcome {
+	switch o {
+	case core.BatchInserted:
+		return lincheck.BatchInserted
+	case core.BatchUpdated:
+		return lincheck.BatchUpdated
+	case core.BatchRemoved:
+		return lincheck.BatchRemoved
+	case core.BatchAbsent:
+		return lincheck.BatchAbsent
+	case core.BatchExists:
+		return lincheck.BatchExists
+	default:
+		return 0
+	}
+}
+
+// TestShardedLinearizabilityPointOps hammers a 2-shard map whose boundary
+// sits in the middle of a 4-key space, so every history mixes ops that route
+// to different shards. The whole history must linearize: routing is a pure
+// function of the key, so per-shard linearizability composes to whole-map
+// linearizability for single-key ops.
+func TestShardedLinearizabilityPointOps(t *testing.T) {
+	const (
+		rounds   = 60
+		procs    = 3
+		opsEach  = 4
+		keySpace = 4
+	)
+	for round := 0; round < rounds; round++ {
+		s := newTest(t, tinyCfg(), []int64{2})
+		rec := lincheck.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsEach; i++ {
+					k := int64(rng.Intn(keySpace))
+					switch rng.Intn(3) {
+					case 0:
+						v := int64(p*1000 + i)
+						inv := rec.Begin()
+						ok := s.Insert(k, &v)
+						rec.End(lincheck.Event{
+							Proc: p, Kind: lincheck.KindInsert,
+							Key: k, Val: v, RetOK: ok,
+						}, inv)
+					case 1:
+						inv := rec.Begin()
+						ok := s.Remove(k)
+						rec.End(lincheck.Event{
+							Proc: p, Kind: lincheck.KindRemove,
+							Key: k, RetOK: ok,
+						}, inv)
+					default:
+						inv := rec.Begin()
+						pv, ok := s.Lookup(k)
+						var rv int64
+						if ok {
+							rv = *pv
+						}
+						rec.End(lincheck.Event{
+							Proc: p, Kind: lincheck.KindLookup,
+							Key: k, RetOK: ok, RetVal: rv,
+						}, inv)
+					}
+				}
+			}(p, int64(round*100+p))
+		}
+		wg.Wait()
+		if ok, msg := lincheck.Check(rec.History()); !ok {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+		mustCheck(t, s)
+	}
+}
+
+// TestShardedLinearizabilityConfinedBatches runs concurrent batches and range
+// queries each confined to a single shard, on single-layer shards (every
+// shard's head chunk owns its whole slice, so an in-shard batch commits
+// atomically). With confinement, KindBatch and KindRangeQuery events must
+// linearize as single atomic events even while other procs hit other shards.
+func TestShardedLinearizabilityConfinedBatches(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.LayerCount = 1
+
+	const (
+		rounds  = 60
+		procs   = 3
+		opsEach = 4
+		// Two shards, two keys each: shard 0 owns {0,1}, shard 1 owns {2,3}.
+		perShard = 2
+	)
+	for round := 0; round < rounds; round++ {
+		s := newTest(t, cfg, []int64{perShard})
+		rec := lincheck.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsEach; i++ {
+					// Pick a shard, then keep every key of this op inside it.
+					base := int64(rng.Intn(2)) * perShard
+					k := base + int64(rng.Intn(perShard))
+					switch rng.Intn(5) {
+					case 0:
+						v := int64(p*1000 + i)
+						inv := rec.Begin()
+						ok := s.Insert(k, &v)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindInsert, Key: k, Val: v, RetOK: ok}, inv)
+					case 1:
+						inv := rec.Begin()
+						ok := s.Remove(k)
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRemove, Key: k, RetOK: ok}, inv)
+					case 2:
+						inv := rec.Begin()
+						pv, ok := s.Lookup(k)
+						var rv int64
+						if ok {
+							rv = *pv
+						}
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindLookup, Key: k, RetOK: ok, RetVal: rv}, inv)
+					case 3:
+						// In-shard window observer.
+						lo, hi := base, base+perShard-1
+						inv := rec.Begin()
+						var pairs []lincheck.KV
+						s.RangeQuery(lo, hi, func(qk int64, qv *int64) bool {
+							pairs = append(pairs, lincheck.KV{K: qk, V: *qv})
+							return true
+						})
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindRangeQuery, Key: lo, Hi: hi, Pairs: pairs}, inv)
+					default:
+						// In-shard batch: all keys share the op's shard.
+						n := 1 + rng.Intn(3)
+						ops := make([]core.BatchOp[int64], n)
+						vals := make([]int64, n)
+						items := make([]lincheck.BatchItem, n)
+						for b := range ops {
+							bk := base + int64(rng.Intn(perShard))
+							vals[b] = int64(p*1000 + i*10 + b)
+							switch rng.Intn(4) {
+							case 0:
+								ops[b] = core.BatchOp[int64]{Key: bk, Del: true}
+								items[b] = lincheck.BatchItem{Key: bk, Del: true}
+							case 1:
+								ops[b] = core.BatchOp[int64]{Key: bk, Val: &vals[b], InsertOnly: true}
+								items[b] = lincheck.BatchItem{Key: bk, Val: vals[b], InsertOnly: true}
+							default:
+								ops[b] = core.BatchOp[int64]{Key: bk, Val: &vals[b]}
+								items[b] = lincheck.BatchItem{Key: bk, Val: vals[b]}
+							}
+						}
+						inv := rec.Begin()
+						res := s.ApplyBatch(ops)
+						for b := range res {
+							items[b].Outcome = lcOutcome(res[b].Outcome)
+						}
+						rec.End(lincheck.Event{Proc: p, Kind: lincheck.KindBatch, Items: items}, inv)
+					}
+				}
+			}(p, int64(round*131+p))
+		}
+		wg.Wait()
+		if ok, msg := lincheck.Check(rec.History()); !ok {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+		mustCheck(t, s)
+	}
+}
+
+// TestShardedCrossShardBatchSequentialLincheck replays single-threaded
+// batches that deliberately span shards — sorted (contiguous fan-out) and
+// shuffled with duplicate keys (scatter fan-out) — through the lincheck
+// model. Atomicity is moot with one thread; what this pins is that the
+// routed, partitioned, parallel-committed batch produces exactly the
+// sequential specification's per-op outcomes and final state, including
+// last-write-wins for duplicate keys that stay in one shard.
+func TestShardedCrossShardBatchSequentialLincheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const keySpace = 24
+	for i := 0; i < 40; i++ {
+		s := newTest(t, tinyCfg(), []int64{6, 12, 18})
+		rec := lincheck.NewRecorder()
+
+		// Opening bulk batch in sorted key order: the contiguous path.
+		bulk := make([]core.BatchOp[int64], 16)
+		bulkVals := make([]int64, len(bulk))
+		bulkItems := make([]lincheck.BatchItem, len(bulk))
+		k := int64(0)
+		for b := range bulk {
+			k += 1 + int64(rng.Intn(2)) // ascending, spans all four shards
+			if k >= keySpace {
+				k = keySpace - 1
+			}
+			bulkVals[b] = int64(i*1000 + b)
+			bulk[b] = core.BatchOp[int64]{Key: k, Val: &bulkVals[b]}
+			bulkItems[b] = lincheck.BatchItem{Key: k, Val: bulkVals[b]}
+		}
+		inv := rec.Begin()
+		res := s.ApplyBatch(bulk)
+		for b := range res {
+			bulkItems[b].Outcome = lcOutcome(res[b].Outcome)
+		}
+		rec.End(lincheck.Event{Kind: lincheck.KindBatch, Items: bulkItems}, inv)
+
+		// Mixed shuffled batches with duplicates: the scatter path.
+		for j := 0; j < 6; j++ {
+			n := 1 + rng.Intn(4)
+			ops := make([]core.BatchOp[int64], n)
+			vals := make([]int64, n)
+			items := make([]lincheck.BatchItem, n)
+			for b := range ops {
+				bk := int64(rng.Intn(keySpace))
+				vals[b] = int64(i*1000 + j*100 + b)
+				switch rng.Intn(4) {
+				case 0:
+					ops[b] = core.BatchOp[int64]{Key: bk, Del: true}
+					items[b] = lincheck.BatchItem{Key: bk, Del: true}
+				case 1:
+					ops[b] = core.BatchOp[int64]{Key: bk, Val: &vals[b], InsertOnly: true}
+					items[b] = lincheck.BatchItem{Key: bk, Val: vals[b], InsertOnly: true}
+				default:
+					ops[b] = core.BatchOp[int64]{Key: bk, Val: &vals[b]}
+					items[b] = lincheck.BatchItem{Key: bk, Val: vals[b]}
+				}
+			}
+			inv := rec.Begin()
+			res := s.ApplyBatch(ops)
+			for b := range res {
+				items[b].Outcome = lcOutcome(res[b].Outcome)
+			}
+			rec.End(lincheck.Event{Kind: lincheck.KindBatch, Items: items}, inv)
+		}
+
+		// Closing stitched range query pins the final state in full.
+		inv = rec.Begin()
+		var pairs []lincheck.KV
+		s.RangeQuery(0, keySpace, func(qk int64, qv *int64) bool {
+			pairs = append(pairs, lincheck.KV{K: qk, V: *qv})
+			return true
+		})
+		rec.End(lincheck.Event{Kind: lincheck.KindRangeQuery, Key: 0, Hi: keySpace, Pairs: pairs}, inv)
+
+		if ok, msg := lincheck.Check(rec.History()); !ok {
+			t.Fatalf("window %d: %s", i, msg)
+		}
+		mustCheck(t, s)
+	}
+}

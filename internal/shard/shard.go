@@ -1,0 +1,307 @@
+// Package shard partitions the key space across N independent skip vector
+// maps behind a router, buying write parallelism the single structure cannot
+// reach: each shard has its own chunks, seqlocks, hazard domain, and
+// telemetry registry, so point operations on different shards share no
+// synchronization state at all.
+//
+// The router is an immutable boundary table swapped atomically: resolving a
+// key to its shard costs one atomic pointer load and a binary search over a
+// handful of split keys — no lock, no per-operation allocation. Batches are
+// partitioned at shard boundaries and fanned out to the owning shards in
+// parallel with an all-shards commit barrier; ordered iteration stitches
+// per-shard iterators back together at the boundaries, in key order.
+//
+// Consistency model: point operations and per-shard batch units are
+// linearizable (each shard is a fully linearizable map). Operations that
+// span shards — ApplyBatch across boundaries, RangeQuery/Ascend windows
+// crossing a split key — are sequences of per-shard linearizable segments,
+// not one atomic operation: a concurrent reader can observe a state between
+// two shards' commits. Callers that need cross-shard atomicity must either
+// align their batches to shard boundaries or route everything to one shard.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"skipvector/internal/core"
+	"skipvector/internal/telemetry"
+)
+
+// Key sentinels, re-exported so callers need not import core for bounds math.
+const (
+	MinKey = core.MinKey
+	MaxKey = core.MaxKey
+)
+
+// MaxShards bounds the shard count. The router's hot path is a binary search
+// over the split keys; past a few hundred shards the per-shard fixed costs
+// (registries, sentinel chunks, hazard domains) dominate any win.
+const MaxShards = 1024
+
+// table is the router's immutable state: the boundary table and the shard
+// maps it routes to. A table is never mutated after publication — rebalancing
+// builds a new table and swaps the pointer — so readers need no
+// synchronization beyond the one atomic load.
+type table[V any] struct {
+	// splits are the interior boundary keys, strictly ascending, one fewer
+	// than the shard count: shard 0 owns keys < splits[0], shard i owns
+	// [splits[i-1], splits[i]), and the last shard owns keys ≥ the final
+	// split. The whole user key space is always covered.
+	splits []int64
+	maps   []*core.Map[V]
+}
+
+// indexOf resolves a key to its owning shard: the number of split keys ≤ k.
+func (t *table[V]) indexOf(k int64) int {
+	lo, hi := 0, len(t.splits)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.splits[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowOf returns the lowest key shard i can own (MinKey+1 for shard 0).
+func (t *table[V]) lowOf(i int) int64 {
+	if i == 0 {
+		return MinKey + 1
+	}
+	return t.splits[i-1]
+}
+
+// Sharded is a key-range-partitioned ordered map: N core maps behind an
+// atomically-swapped boundary table. All methods are safe for concurrent use
+// by any number of goroutines.
+type Sharded[V any] struct {
+	tab atomic.Pointer[table[V]]
+
+	// Router metrics: always-on atomics collected func-backed at exposition
+	// time, so the hot path pays nothing for them.
+	swaps       atomic.Int64 // boundary-table publications (1 at construction)
+	fanouts     atomic.Int64 // ApplyBatch calls that spanned >1 shard
+	fanoutParts atomic.Int64 // per-shard commit units issued by fan-out batches
+	singleBatch atomic.Int64 // ApplyBatch calls resolved entirely by one shard
+	reg         *telemetry.Registry
+}
+
+// EvenBounds returns the interior split keys that partition [lo, hi) into
+// shards near-equal key ranges: the bounds argument for New when keys are
+// expected to be uniform over a known interval. Keys outside [lo, hi) still
+// route (to the first or last shard); only balance suffers.
+func EvenBounds(lo, hi int64, shards int) []int64 {
+	if shards < 1 || hi <= lo {
+		return nil
+	}
+	span := uint64(hi-lo) / uint64(shards)
+	splits := make([]int64, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		splits = append(splits, lo+int64(span)*int64(i))
+	}
+	return splits
+}
+
+// New builds a sharded map of len(splits)+1 shards, each an independent core
+// map configured from cfg. splits are the interior boundary keys, strictly
+// ascending and strictly inside the user key space (see EvenBounds). Each
+// shard's registry is labeled shard="i" (on top of any labels already in
+// cfg.MetricLabels) so the combined Metrics view exports distinct series, and
+// each shard's height RNG stream is decorrelated from its siblings.
+func New[V any](cfg core.Config, splits []int64) (*Sharded[V], error) {
+	n := len(splits) + 1
+	if n > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards exceeds MaxShards %d", n, MaxShards)
+	}
+	for i, s := range splits {
+		if s <= MinKey || s >= MaxKey {
+			return nil, fmt.Errorf("shard: split %d outside the user key space", s)
+		}
+		if i > 0 && splits[i-1] >= s {
+			return nil, fmt.Errorf("shard: splits not strictly ascending at index %d", i)
+		}
+	}
+	t := &table[V]{
+		splits: append([]int64(nil), splits...),
+		maps:   make([]*core.Map[V], n),
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.MetricLabels = append(append([]string(nil), cfg.MetricLabels...), "shard", strconv.Itoa(i))
+		if c.Seed == 0 {
+			c.Seed = core.DefaultConfig().Seed
+		}
+		c.Seed += uint64(i) * 0x9e3779b97f4a7c15
+		m, err := core.NewMap[V](c)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		t.maps[i] = m
+	}
+	s := &Sharded[V]{}
+	s.publish(t)
+	s.initMetrics()
+	return s, nil
+}
+
+// publish swaps in a new boundary table. The table must be fully built — it
+// is visible to every concurrent operation the instant the pointer lands.
+// Construction publishes the initial table; rebalancing (building a new table
+// with migrated shards and swapping it in) reuses the same protocol.
+func (s *Sharded[V]) publish(t *table[V]) {
+	s.tab.Store(t)
+	s.swaps.Add(1)
+}
+
+// ShardCount returns the number of shards in the current table.
+func (s *Sharded[V]) ShardCount() int { return len(s.tab.Load().maps) }
+
+// Bounds returns the current interior boundary keys (a copy).
+func (s *Sharded[V]) Bounds() []int64 {
+	return append([]int64(nil), s.tab.Load().splits...)
+}
+
+// ShardFor returns the index of the shard owning k (diagnostics, tests).
+func (s *Sharded[V]) ShardFor(k int64) int { return s.tab.Load().indexOf(k) }
+
+// Insert adds k→v to the owning shard; false when k is already present.
+func (s *Sharded[V]) Insert(k int64, v *V) bool {
+	t := s.tab.Load()
+	return t.maps[t.indexOf(k)].Insert(k, v)
+}
+
+// Upsert adds or replaces k→v; true when the key was newly inserted.
+func (s *Sharded[V]) Upsert(k int64, v *V) bool {
+	t := s.tab.Load()
+	return t.maps[t.indexOf(k)].Upsert(k, v)
+}
+
+// Lookup returns the value mapped to k.
+func (s *Sharded[V]) Lookup(k int64) (*V, bool) {
+	t := s.tab.Load()
+	return t.maps[t.indexOf(k)].Lookup(k)
+}
+
+// Contains reports whether k is present.
+func (s *Sharded[V]) Contains(k int64) bool {
+	t := s.tab.Load()
+	return t.maps[t.indexOf(k)].Contains(k)
+}
+
+// Remove deletes the mapping for k, reporting whether it was present.
+func (s *Sharded[V]) Remove(k int64) bool {
+	t := s.tab.Load()
+	return t.maps[t.indexOf(k)].Remove(k)
+}
+
+// Len sums the shard lengths. Like the core map's Len it is linearizable
+// only at quiescence.
+func (s *Sharded[V]) Len() int {
+	total := 0
+	for _, m := range s.tab.Load().maps {
+		total += m.Len()
+	}
+	return total
+}
+
+// Floor returns the largest key ≤ k and its value, searching the owning
+// shard first and walking left across emptier shards as needed.
+func (s *Sharded[V]) Floor(k int64) (int64, *V, bool) {
+	t := s.tab.Load()
+	for i := t.indexOf(k); i >= 0; i-- {
+		if fk, v, ok := t.maps[i].Floor(k); ok {
+			return fk, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Ceiling returns the smallest key ≥ k and its value, walking right from the
+// owning shard.
+func (s *Sharded[V]) Ceiling(k int64) (int64, *V, bool) {
+	t := s.tab.Load()
+	for i := t.indexOf(k); i < len(t.maps); i++ {
+		if ck, v, ok := t.maps[i].Ceiling(k); ok {
+			return ck, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// First returns the smallest key and its value across all shards.
+func (s *Sharded[V]) First() (int64, *V, bool) {
+	for _, m := range s.tab.Load().maps {
+		if k, v, ok := m.First(); ok {
+			return k, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Last returns the largest key and its value across all shards.
+func (s *Sharded[V]) Last() (int64, *V, bool) {
+	maps := s.tab.Load().maps
+	for i := len(maps) - 1; i >= 0; i-- {
+		if k, v, ok := maps[i].Last(); ok {
+			return k, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// Keys concatenates the shard key sets in key order. Quiescent use only.
+func (s *Sharded[V]) Keys() []int64 {
+	var out []int64
+	for _, m := range s.tab.Load().maps {
+		out = append(out, m.Keys()...)
+	}
+	return out
+}
+
+// ShardStats returns each shard's counter snapshot, indexed by shard.
+func (s *Sharded[V]) ShardStats() []core.StatsSnapshot {
+	maps := s.tab.Load().maps
+	out := make([]core.StatsSnapshot, len(maps))
+	for i, m := range maps {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// FlushRetired forces a reclamation scan on every shard (tests, teardown).
+func (s *Sharded[V]) FlushRetired() {
+	for _, m := range s.tab.Load().maps {
+		m.FlushRetired()
+	}
+}
+
+// CheckInvariants validates every shard's structure and the routing
+// invariant that each shard holds only keys inside its boundary interval.
+// Quiescent use only.
+func (s *Sharded[V]) CheckInvariants() error {
+	t := s.tab.Load()
+	if !sort.SliceIsSorted(t.splits, func(i, j int) bool { return t.splits[i] < t.splits[j] }) {
+		return fmt.Errorf("shard: splits out of order: %v", t.splits)
+	}
+	for i, m := range t.maps {
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		lo := t.lowOf(i)
+		hi := int64(MaxKey)
+		if i < len(t.splits) {
+			hi = t.splits[i]
+		}
+		for _, k := range m.Keys() {
+			if k < lo || k >= hi {
+				return fmt.Errorf("shard %d holds key %d outside [%d,%d)", i, k, lo, hi)
+			}
+		}
+	}
+	return nil
+}

@@ -49,11 +49,60 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []entry
 	names   map[string]bool
+	// labels is the registry's pre-rendered const label set (`shard="3"`),
+	// attached to every series it exposes. Empty for unlabeled registries.
+	labels string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{names: make(map[string]bool)}
+}
+
+// NewLabeledRegistry creates an empty registry whose every series carries the
+// given constant label pairs (name1, value1, name2, value2, ...). Labels make
+// same-named metrics from several registries distinct series instead of
+// colliding duplicates, so N structure instances — the shards of a
+// key-range-partitioned map, say — can export through one View. It panics on
+// an odd pair count (programmer error, like a duplicate metric name).
+func NewLabeledRegistry(pairs ...string) *Registry {
+	if len(pairs)%2 != 0 {
+		panic("telemetry: NewLabeledRegistry needs name/value pairs")
+	}
+	r := NewRegistry()
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+	}
+	r.labels = b.String()
+	return r
+}
+
+// Labels returns the registry's pre-rendered const label set ("" when
+// unlabeled).
+func (r *Registry) Labels() string { return r.labels }
+
+// series renders a metric name with the registry's const labels and any
+// extra per-series labels (a histogram bucket's le), in exposition form.
+func (r *Registry) series(name string, extra ...string) string {
+	if r.labels == "" && len(extra) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(r.labels)
+	for _, e := range extra {
+		if b.Len() > len(name)+1 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Global is the process-wide registry. Packages whose metrics are not tied
@@ -145,12 +194,19 @@ type View struct {
 func NewView(regs ...*Registry) *View { return &View{regs: regs} }
 
 // WritePrometheus renders every metric of every registry in Prometheus text
-// exposition format (HELP/TYPE comments, cumulative histogram buckets).
+// exposition format (HELP/TYPE comments, cumulative histogram buckets). When
+// several registries expose the same metric family — N labeled shard
+// registries, say — the HELP/TYPE header is emitted once per family and the
+// per-registry series are distinguished by their const labels.
 func (v *View) WritePrometheus(w io.Writer) error {
+	headered := map[string]bool{}
 	for _, r := range v.regs {
 		for _, e := range r.snapshotEntries() {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.kind); err != nil {
-				return err
+			if !headered[e.name] {
+				headered[e.name] = true
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.kind); err != nil {
+					return err
+				}
 			}
 			if e.kind == KindHistogram {
 				s := e.hist()
@@ -161,16 +217,16 @@ func (v *View) WritePrometheus(w io.Writer) error {
 					if ub := UpperBound(i); ub >= 0 {
 						le = fmt.Sprintf("%d", ub)
 					}
-					if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, le, cum); err != nil {
+					if _, err := fmt.Fprintf(w, "%s %d\n", r.series(e.name+"_bucket", fmt.Sprintf("le=%q", le)), cum); err != nil {
 						return err
 					}
 				}
-				if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, s.Sum, e.name, s.Count); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n", r.series(e.name+"_sum"), s.Sum, r.series(e.name+"_count"), s.Count); err != nil {
 					return err
 				}
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.val())); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", r.series(e.name), formatFloat(e.val())); err != nil {
 				return err
 			}
 		}
@@ -191,7 +247,7 @@ func (v *View) String() string {
 				b.WriteByte(',')
 			}
 			first = false
-			fmt.Fprintf(&b, "%q:", e.name)
+			fmt.Fprintf(&b, "%q:", r.series(e.name))
 			if e.kind == KindHistogram {
 				s := e.hist()
 				fmt.Fprintf(&b, `{"count":%d,"sum":%d,"buckets":[`, s.Count, s.Sum)
@@ -211,12 +267,14 @@ func (v *View) String() string {
 	return b.String()
 }
 
-// Names returns the sorted metric names across the view (tests, discovery).
+// Names returns the sorted series names across the view (tests, discovery).
+// Labeled registries contribute their names with the label set attached, so a
+// view over N labeled shard registries reports N distinct series per family.
 func (v *View) Names() []string {
 	var out []string
 	for _, r := range v.regs {
 		for _, e := range r.snapshotEntries() {
-			out = append(out, e.name)
+			out = append(out, r.series(e.name))
 		}
 	}
 	sort.Strings(out)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -280,6 +281,79 @@ func TestConcurrentObserveAndSnapshot(t *testing.T) {
 		s := h.Snapshot()
 		if s.Count != c.Load() {
 			t.Fatalf("quiescent Count %d != counter %d", s.Count, c.Load())
+		}
+	})
+}
+
+func TestLabeledRegistrySeries(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewLabeledRegistry("shard", "3")
+		r.Counter("sv_ops_total", "total ops").Add(0, 7)
+		h := r.Histogram("sv_depth", "descent depth")
+		h.Observe(0, 2)
+
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{
+			"# TYPE sv_ops_total counter",
+			`sv_ops_total{shard="3"} 7`,
+			`sv_depth_bucket{shard="3",le="3"} 1`,
+			`sv_depth_sum{shard="3"} 2`,
+			`sv_depth_count{shard="3"} 1`,
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("labeled exposition missing %q:\n%s", want, out)
+			}
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(r.String()), &doc); err != nil {
+			t.Fatalf("String() is not valid JSON: %v\n%s", err, r.String())
+		}
+		if doc[`sv_ops_total{shard="3"}`] != float64(7) {
+			t.Fatalf("labeled JSON key missing: %v", doc)
+		}
+	})
+}
+
+// TestLabeledViewDoesNotCollide is the sharded roll-up contract: a view over
+// N same-shaped registries with distinct shard labels exposes N distinct
+// series per family, one HELP/TYPE header per family, and N distinct names.
+func TestLabeledViewDoesNotCollide(t *testing.T) {
+	withEnabled(t, func() {
+		const n = 4
+		regs := make([]*Registry, n)
+		for i := range regs {
+			regs[i] = NewLabeledRegistry("shard", strconv.Itoa(i))
+			regs[i].Counter("sv_restarts_total", "restarts").Add(0, int64(i))
+		}
+		v := NewView(regs...)
+		var sb strings.Builder
+		if err := v.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		if got := strings.Count(out, "# TYPE sv_restarts_total counter"); got != 1 {
+			t.Fatalf("want one TYPE header per family, got %d:\n%s", got, out)
+		}
+		for i := 0; i < n; i++ {
+			want := fmt.Sprintf("sv_restarts_total{shard=%q} %d", strconv.Itoa(i), i)
+			if !strings.Contains(out, want) {
+				t.Fatalf("view missing series %q:\n%s", want, out)
+			}
+		}
+		names := v.Names()
+		seen := map[string]bool{}
+		for _, nm := range names {
+			if seen[nm] {
+				t.Fatalf("colliding series name %q in %v", nm, names)
+			}
+			seen[nm] = true
+		}
+		if len(names) != n {
+			t.Fatalf("want %d distinct series, got %v", n, names)
 		}
 	})
 }
