@@ -240,7 +240,11 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			emit(ts...)
+			rt, err := bench.FigRebalance(s)
+			if err != nil {
+				return err
+			}
+			emit(append(ts, rt)...)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}

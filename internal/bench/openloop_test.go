@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Edge cases of the open-loop latency histogram: the shapes RunOpenLoop
+// never produces in a healthy trial but a degenerate one (zero completions,
+// one completion, an absurd stall) can — and the merge algebra the result
+// aggregation depends on.
+
+func TestLatHistEmpty(t *testing.T) {
+	h := newLatHist()
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.percentile(q); got != 0 {
+			t.Fatalf("empty histogram percentile(%v) = %d", q, got)
+		}
+	}
+	if h.count != 0 || h.max != 0 {
+		t.Fatalf("empty histogram count=%d max=%d", h.count, h.max)
+	}
+	// Merging an empty histogram into an empty histogram stays empty.
+	h.merge(newLatHist())
+	if h.count != 0 || h.percentile(0.5) != 0 {
+		t.Fatal("empty merge mutated the histogram")
+	}
+}
+
+func TestLatHistSingleSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 1000, 123456789} {
+		h := newLatHist()
+		h.observe(v)
+		// Every percentile of a single sample is that sample (clamped to
+		// max, so exact even where the bucket bound exceeds it).
+		for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+			if got := h.percentile(q); got != v {
+				t.Fatalf("single sample %d: percentile(%v) = %d", v, q, got)
+			}
+		}
+		if h.max != v || h.count != 1 {
+			t.Fatalf("single sample %d: count=%d max=%d", v, h.count, h.max)
+		}
+	}
+	// Negative latencies (clock skew) clamp to bucket 0 and never panic.
+	h := newLatHist()
+	h.observe(-5)
+	if got := h.percentile(0.5); got != 0 {
+		t.Fatalf("negative sample percentile = %d", got)
+	}
+}
+
+func TestLatHistOverflowBucket(t *testing.T) {
+	// MaxInt64 must land in the last bucket, not out of range, and the
+	// reported percentile must clamp to the observed max rather than the
+	// bucket's astronomically larger upper bound.
+	if got := latBucket(math.MaxInt64); got != latBuckets-1 {
+		t.Fatalf("latBucket(MaxInt64) = %d, want %d", got, latBuckets-1)
+	}
+	h := newLatHist()
+	h.observe(math.MaxInt64)
+	if got := h.percentile(0.999); got != math.MaxInt64 {
+		t.Fatalf("overflow percentile = %d", got)
+	}
+	// A mixed population: the overflow sample owns only the top quantile.
+	for i := 0; i < 999; i++ {
+		h.observe(100)
+	}
+	if got := h.percentile(0.5); got > 103 {
+		t.Fatalf("p50 pulled up by overflow sample: %d", got)
+	}
+	if got := h.percentile(0.9999); got != math.MaxInt64 {
+		t.Fatalf("p99.99 missed the overflow sample: %d", got)
+	}
+}
+
+func TestLatHistPercentileMonotonicUnderMerge(t *testing.T) {
+	// Percentiles must be monotone in q, and merging histograms must
+	// preserve that plus the merge algebra: count adds, max is the larger,
+	// and every percentile of the merge is bounded below by the smaller
+	// input percentile and above by the merged max.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a, b := newLatHist(), newLatHist()
+		na, nb := 1+rng.Intn(200), 1+rng.Intn(200)
+		for i := 0; i < na; i++ {
+			a.observe(rng.Int63n(1 << uint(4+rng.Intn(40))))
+		}
+		for i := 0; i < nb; i++ {
+			b.observe(rng.Int63n(1 << uint(4+rng.Intn(40))))
+		}
+		m := newLatHist()
+		m.merge(a)
+		m.merge(b)
+		if m.count != a.count+b.count {
+			t.Fatalf("trial %d: merged count %d != %d+%d", trial, m.count, a.count, b.count)
+		}
+		wantMax := a.max
+		if b.max > wantMax {
+			wantMax = b.max
+		}
+		if m.max != wantMax {
+			t.Fatalf("trial %d: merged max %d, want %d", trial, m.max, wantMax)
+		}
+		qs := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+		prev := int64(-1)
+		for _, q := range qs {
+			p := m.percentile(q)
+			if p < prev {
+				t.Fatalf("trial %d: merged percentile(%v)=%d < previous %d", trial, q, p, prev)
+			}
+			prev = p
+			// The merged quantile can't sort below BOTH inputs' quantiles
+			// (it can exceed both: an input's percentile clamps to that
+			// input's max, the merge clamps to the larger one).
+			lo := a.percentile(q)
+			if bp := b.percentile(q); bp < lo {
+				lo = bp
+			}
+			if p < lo {
+				t.Fatalf("trial %d: merged percentile(%v)=%d below both inputs' %d", trial, q, p, lo)
+			}
+			if p > m.max {
+				t.Fatalf("trial %d: merged percentile(%v)=%d above merged max %d", trial, q, p, m.max)
+			}
+		}
+		if m.percentile(1) != m.max {
+			t.Fatalf("trial %d: p100 %d != max %d", trial, m.percentile(1), m.max)
+		}
+	}
+}

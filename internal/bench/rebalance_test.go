@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestFigRebalanceQuick smokes the skew/rebalance figure at quick scale and
+// enforces what a 1-vCPU CI host can honestly enforce: the trial completes
+// with zero lost sentinel writes (runSkewTrial fails the figure otherwise),
+// the planner actually split the hot shard, the forced-churn open-loop
+// phase survived real migrations, and every reported number is usable. The
+// throughput gate itself (RebalanceSpeedupTarget) binds only where the
+// workers can run in parallel — RebalanceEnforceable — with the same noise
+// allowance the other quick gates use.
+func TestFigRebalanceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if RebalanceSpeedupTarget <= 1 {
+		t.Fatalf("rebalance target %v ≤ 1 gates nothing", RebalanceSpeedupTarget)
+	}
+	s := QuickScale()
+	s.Duration = 120 * time.Millisecond
+	tb, err := FigRebalance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.XValues) != 2 || tb.XValues[0] != "frozen" || tb.XValues[1] != "auto" {
+		t.Fatalf("rows = %v, want [frozen auto]", tb.XValues)
+	}
+	ops, ratio := tb.Col("ops/s"), tb.Col("x-vs-frozen")
+	shards, migs, p999 := tb.Col("shards-after"), tb.Col("migrations"), tb.Col("p999-us")
+	if ops < 0 || ratio < 0 || shards < 0 || migs < 0 || p999 < 0 {
+		t.Fatalf("missing columns: %v", tb.Columns)
+	}
+	for i, label := range tb.XValues {
+		if v := tb.Cells[i][ops]; v <= 0 || math.IsNaN(v) {
+			t.Fatalf("row %q reports no throughput: %v", label, v)
+		}
+		if v := tb.Cells[i][p999]; v <= 0 || math.IsNaN(v) {
+			t.Fatalf("row %q reports no p999: %v", label, v)
+		}
+	}
+	if n := tb.Cells[0][shards]; n != rebalanceInitialShards {
+		t.Errorf("frozen row moved boundaries: %v shards", n)
+	}
+	if n := tb.Cells[1][shards]; n <= rebalanceInitialShards {
+		t.Errorf("auto row never split the hot shard: %v shards after", n)
+	}
+	if n := tb.Cells[1][migs]; n < 1 {
+		t.Errorf("open-loop phase saw no migrations: %v", n)
+	}
+	r := tb.Cells[1][ratio]
+	t.Logf("auto/frozen ratio %.3f (target %.2f where enforceable)", r, RebalanceSpeedupTarget)
+	threads := s.Threads[len(s.Threads)-1]
+	if RebalanceEnforceable(threads) && r < RebalanceSpeedupTarget*0.85 {
+		t.Errorf("auto/frozen ratio %.3f below target %.2f on an enforceable host",
+			r, RebalanceSpeedupTarget)
+	}
+}

@@ -33,11 +33,29 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// SeedFromEnv returns the seed a stress campaign should run with: the
+// SV_SEED environment variable when set (decimal, or any base strconv's
+// auto-detection accepts, e.g. 0x-prefixed hex), otherwise def. Harnesses
+// that derive their chaos/lincheck schedules through this helper — and log
+// the effective seed on failure — make every campaign failure replayable
+// with SV_SEED=<logged value>. A malformed override is ignored in favor of
+// def rather than silently zeroing the schedule.
+func SeedFromEnv(def uint64) uint64 {
+	if s := os.Getenv("SV_SEED"); s != "" {
+		if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
 
 // Site identifies an injection point in the production code.
 type Site uint8
@@ -108,6 +126,15 @@ const (
 	// in production code; the crash campaign schedules actual kills at these
 	// same boundaries through the injected filesystem.
 	WALCrashPoint
+	// ShardRebalance is hit at every step boundary of a shard migration
+	// (destination build, snapshot pin, pre-copy batches, seal publication,
+	// writer drain, sealed reconciliation, final table publication): a forced
+	// failure makes the migrator abort and roll back at exactly that step —
+	// unsealing if it had sealed, dropping the half-built destination shards
+	// — so injection drives the abort/retry paths a mid-migration crash or
+	// planner cancellation would. Aborts never lose data: the source shards
+	// stay authoritative until the final publication succeeds.
+	ShardRebalance
 
 	// NumSites is the number of injection sites (array-sizing constant).
 	NumSites
@@ -148,6 +175,8 @@ func (s Site) String() string {
 		return "wal.tornwrite"
 	case WALCrashPoint:
 		return "wal.crashpoint"
+	case ShardRebalance:
+		return "shard.rebalance"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

@@ -15,9 +15,11 @@ import (
 // suite: frequent forced validation/CAS failures drive the restart and
 // checkpoint-resume paths, yields and occasional delays stretch the
 // freeze/split/merge/orphan windows other goroutines must navigate.
+// SV_SEED (via stressSeed) replaces the per-test seed for replays; the
+// chaos.Report each campaign logs on completion prints the seed in effect.
 func stressChaosConfig(seed uint64) chaos.Config {
 	return chaos.Config{
-		Seed:       seed,
+		Seed:       stressSeed(seed),
 		FailOneIn:  48,
 		YieldOneIn: 24,
 		DelayOneIn: 4096,

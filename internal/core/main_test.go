@@ -1,0 +1,29 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"skipvector/internal/chaos"
+)
+
+// seedOverride is the SV_SEED environment override for every chaos stress
+// campaign in this package: zero means "use each test's baked-in seed",
+// anything else replays the whole suite under that seed. A failure report's
+// chaos.Report line prints the effective seed, so a flaky run is reproduced
+// with SV_SEED=<printed seed> go test ./internal/core/ -run <test>.
+var seedOverride uint64
+
+func TestMain(m *testing.M) {
+	seedOverride = chaos.SeedFromEnv(0)
+	os.Exit(m.Run())
+}
+
+// stressSeed resolves a campaign's seed: the SV_SEED override when set,
+// otherwise the test's default.
+func stressSeed(def uint64) uint64 {
+	if seedOverride != 0 {
+		return seedOverride
+	}
+	return def
+}

@@ -46,6 +46,18 @@ const (
 	// order. Validation is identical to KindRangeQuery; the difference is
 	// operational (the interval covers only Snapshot(), not the reads).
 	KindSnapshot
+	// KindRebalance is a shard migration over the window [Key,Hi]: the
+	// migrator pinned a snapshot of the range at some point inside
+	// [Invoke,Return], copied it into fresh shards, and swapped the routing
+	// table. Two things must hold of the abstract map: the migration changes
+	// NOTHING (it is a pure representation change — the event applies no
+	// state mutation), and the content the migrator observed through its
+	// pinned snapshot (Pairs) must equal the model state's restriction to
+	// the window at the acquisition's linearization point, exactly and in
+	// ascending key order. Lost updates across the swap do not show up in
+	// the event itself — they surface as later point reads returning stale
+	// values, which the surrounding history then fails to linearize.
+	KindRebalance
 )
 
 func (k Kind) String() string {
@@ -64,6 +76,8 @@ func (k Kind) String() string {
 		return "batch"
 	case KindSnapshot:
 		return "snapshot"
+	case KindRebalance:
+		return "rebalance"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -159,6 +173,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("P%d batch%v @[%d,%d]", e.Proc, e.Items, e.Invoke, e.Return)
 	case KindSnapshot:
 		return fmt.Sprintf("P%d snapshot[%d,%d]=%v @[%d,%d]", e.Proc, e.Key, e.Hi, e.Pairs, e.Invoke, e.Return)
+	case KindRebalance:
+		return fmt.Sprintf("P%d rebalance[%d,%d]=%v @[%d,%d]", e.Proc, e.Key, e.Hi, e.Pairs, e.Invoke, e.Return)
 	default:
 		return fmt.Sprintf("P%d lookup(%d)=(%d,%t) @[%d,%d]", e.Proc, e.Key, e.RetVal, e.RetOK, e.Invoke, e.Return)
 	}
@@ -318,11 +334,14 @@ func apply(e Event, state map[int64]int64) (func(), bool) {
 		k := e.Key
 		delete(state, k)
 		return func() { state[k] = v }, true
-	case KindRangeQuery, KindSnapshot:
+	case KindRangeQuery, KindSnapshot, KindRebalance:
 		// The observed snapshot must be exactly the state's restriction to
 		// [Key,Hi]: same keys, same values, ascending order. A KindSnapshot
 		// event mutates nothing — the pinned view's content is decided at the
 		// acquisition's linearization point and the later reads only reveal it.
+		// A KindRebalance event shares the rule: the migration's pinned
+		// pre-copy view linearizes at its acquisition, and the migration
+		// itself must be a no-op on the abstract map.
 		keys := keysInRange(state, e.Key, e.Hi)
 		if len(keys) != len(e.Pairs) {
 			return nil, false

@@ -486,3 +486,89 @@ func TestSnapshotKindString(t *testing.T) {
 		t.Fatalf("Event.String() = %q", got)
 	}
 }
+
+func TestRebalanceSequential(t *testing.T) {
+	// A rebalance is a pure representation change: its pinned pre-copy view
+	// must match the state at acquisition, and the abstract map is untouched
+	// — reads before and after see exactly the same mappings.
+	h := seq(
+		Event{Kind: KindInsert, Key: 1, Val: 10, RetOK: true},
+		Event{Kind: KindInsert, Key: 3, Val: 30, RetOK: true},
+		Event{Kind: KindInsert, Key: 7, Val: 70, RetOK: true},
+		Event{Kind: KindRebalance, Key: 0, Hi: 5, Pairs: []KV{{1, 10}, {3, 30}}},
+		Event{Kind: KindLookup, Key: 1, RetOK: true, RetVal: 10},
+		Event{Kind: KindLookup, Key: 3, RetOK: true, RetVal: 30},
+		Event{Kind: KindLookup, Key: 7, RetOK: true, RetVal: 70},
+		// An empty-window migration observes nothing.
+		Event{Kind: KindRebalance, Key: 100, Hi: 200},
+	)
+	if ok, msg := Check(h); !ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestRebalanceIllegalHistories(t *testing.T) {
+	cases := [][]Event{
+		// The migrator's pinned view saw a key never inserted.
+		seq(Event{Kind: KindRebalance, Key: 0, Hi: 9, Pairs: []KV{{1, 10}}}),
+		// The pinned view missed a key present throughout.
+		seq(
+			Event{Kind: KindInsert, Key: 2, Val: 20, RetOK: true},
+			Event{Kind: KindRebalance, Key: 0, Hi: 9},
+		),
+		// Lost update: a write completed before the migration began, but a
+		// read after the swap misses it — the classic failure the write gate
+		// exists to prevent. The rebalance event itself validates; the stale
+		// read after it cannot linearize.
+		seq(
+			Event{Kind: KindInsert, Key: 4, Val: 40, RetOK: true},
+			Event{Kind: KindRebalance, Key: 0, Hi: 9, Pairs: []KV{{4, 40}}},
+			Event{Kind: KindLookup, Key: 4, RetOK: false},
+		),
+		// Resurrection: a key removed before the migration reappears after
+		// the swap (a reconcile that failed to carry the delete).
+		seq(
+			Event{Kind: KindInsert, Key: 5, Val: 50, RetOK: true},
+			Event{Kind: KindRemove, Key: 5, RetOK: true},
+			Event{Kind: KindRebalance, Key: 0, Hi: 9},
+			Event{Kind: KindLookup, Key: 5, RetOK: true, RetVal: 50},
+		),
+		// Torn pinned view: two keys present for the whole acquisition, only
+		// one observed — no single point has that state.
+		seq(
+			Event{Kind: KindInsert, Key: 1, Val: 1, RetOK: true},
+			Event{Kind: KindInsert, Key: 2, Val: 2, RetOK: true},
+			Event{Kind: KindRebalance, Key: 0, Hi: 9, Pairs: []KV{{2, 2}}},
+		),
+	}
+	for i, h := range cases {
+		if ok, _ := Check(h); ok {
+			t.Errorf("case %d: illegal rebalance history accepted", i)
+		}
+	}
+}
+
+func TestRebalanceOverlappingWriteEitherWay(t *testing.T) {
+	// A write overlapping the migration's snapshot acquisition may land on
+	// either side of its linearization point: the pinned view may or may not
+	// carry it, and both must check.
+	for _, pairs := range [][]KV{nil, {{4, 40}}} {
+		h := []Event{
+			{Kind: KindInsert, Key: 4, Val: 40, RetOK: true, Invoke: 1, Return: 4},
+			{Kind: KindRebalance, Key: 0, Hi: 9, Pairs: pairs, Invoke: 2, Return: 3},
+		}
+		if ok, msg := Check(h); !ok {
+			t.Fatalf("pairs=%v: %s", pairs, msg)
+		}
+	}
+}
+
+func TestRebalanceKindString(t *testing.T) {
+	if KindRebalance.String() != "rebalance" {
+		t.Fatalf("KindRebalance.String() = %q", KindRebalance.String())
+	}
+	e := Event{Proc: 1, Kind: KindRebalance, Key: 0, Hi: 9, Pairs: []KV{{1, 10}}, Invoke: 1, Return: 2}
+	if got := e.String(); got != "P1 rebalance[0,9]=[{1 10}] @[1,2]" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+}

@@ -24,13 +24,46 @@ import (
 // (per-chunk groups), but a concurrent reader can observe a state where some
 // shards have committed their parts and others have not. Callers needing a
 // cross-shard atomic batch must align it to one shard.
+//
+// The whole fan-out runs inside one writer-gate reference: a concurrent
+// migration drains it like any point write, and a batch touching a sealed
+// range parks until the successor table lands, then re-routes against it.
 func (s *Sharded[V]) ApplyBatch(ops []core.BatchOp[V]) []core.BatchResult {
 	if len(ops) == 0 {
 		return nil
 	}
-	t := s.tab.Load()
+	stripe := stripeOf(ops[0].Key)
+	for {
+		gen := s.gate.enter(stripe)
+		t := s.tab.Load()
+		if t.seal != nil && batchSealed(t, ops) {
+			s.gate.exit(gen, stripe)
+			s.sealWaits.Add(1)
+			<-t.swapped
+			continue
+		}
+		res := s.applyBatchOn(t, ops)
+		s.gate.exit(gen, stripe)
+		return res
+	}
+}
+
+// batchSealed reports whether any op routes into t's sealed range.
+func batchSealed[V any](t *table[V], ops []core.BatchOp[V]) bool {
+	for i := range ops {
+		if t.sealCovers(ops[i].Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyBatchOn routes and applies ops against a specific table. The caller
+// holds a gate reference and has verified no op is sealed.
+func (s *Sharded[V]) applyBatchOn(t *table[V], ops []core.BatchOp[V]) []core.BatchResult {
 	if len(t.maps) == 1 {
 		s.singleBatch.Add(1)
+		t.load[0].add(ops[0].Key, int64(len(ops)))
 		return t.maps[0].ApplyBatch(ops)
 	}
 
@@ -54,6 +87,7 @@ func (s *Sharded[V]) ApplyBatch(ops []core.BatchOp[V]) []core.BatchResult {
 	if contiguous && spans == first {
 		// Every op routes to one shard: no fan-out, no barrier.
 		s.singleBatch.Add(1)
+		t.load[first].add(ops[0].Key, int64(len(ops)))
 		return t.maps[first].ApplyBatch(ops)
 	}
 
@@ -86,6 +120,9 @@ func (s *Sharded[V]) applyContiguous(t *table[V], ops []core.BatchOp[V], results
 	parts = append(parts, part{cur, lo, len(ops)})
 	s.fanouts.Add(1)
 	s.fanoutParts.Add(int64(len(parts)))
+	for _, p := range parts {
+		t.load[p.shard].add(ops[p.lo].Key, int64(p.hi-p.lo))
+	}
 
 	var wg sync.WaitGroup
 	for _, p := range parts[1:] {
@@ -118,6 +155,7 @@ func (s *Sharded[V]) applyScattered(t *table[V], ops []core.BatchOp[V], results 
 	parts := 0
 	for si := 0; si < n; si++ {
 		if len(bucketOps[si]) > 0 {
+			t.load[si].add(bucketOps[si][0].Key, int64(len(bucketOps[si])))
 			parts++
 		}
 	}

@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// linearIndexOf is the routing oracle: walk the splits left to right and
+// count how many are ≤ k. Split keys belong to the RIGHT shard.
+func linearIndexOf(splits []int64, k int64) int {
+	i := 0
+	for i < len(splits) && splits[i] <= k {
+		i++
+	}
+	return i
+}
+
+// fuzzSplits decodes a fuzz payload into a strictly-ascending split set and
+// a probe key: the first byte picks the split count, each split is derived
+// from 8 bytes (deduped and sorted), the rest seeds the probe.
+func fuzzSplits(data []byte) (splits []int64, probe int64, ok bool) {
+	if len(data) < 2 {
+		return nil, 0, false
+	}
+	n := int(data[0]%16) + 1
+	data = data[1:]
+	raw := make(map[int64]bool)
+	for i := 0; i < n && len(data) >= 8; i++ {
+		k := int64(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+		if k > MinKey && k < MaxKey {
+			raw[k] = true
+		}
+	}
+	if len(raw) == 0 {
+		return nil, 0, false
+	}
+	for k := range raw {
+		splits = append(splits, k)
+	}
+	sort.Slice(splits, func(i, j int) bool { return splits[i] < splits[j] })
+	if len(data) >= 8 {
+		probe = int64(binary.LittleEndian.Uint64(data[:8]))
+	}
+	if probe <= MinKey || probe >= MaxKey {
+		probe = splits[0]
+	}
+	return splits, probe, true
+}
+
+// FuzzRouting drives the binary-search router against the linear-scan
+// oracle over fuzz-derived boundary tables: the probe key itself, both
+// neighbors of every split (the exact-boundary cases), and the routing
+// invariants lowOf/highOf around the resolved shard.
+func FuzzRouting(f *testing.F) {
+	f.Add([]byte{3, 10, 0, 0, 0, 0, 0, 0, 0, 20, 0, 0, 0, 0, 0, 0, 0, 10, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0x80, 5, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{16, 255, 255, 255, 255, 255, 255, 255, 127})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		splits, probe, ok := fuzzSplits(data)
+		if !ok {
+			return
+		}
+		tab := &table[int64]{splits: splits}
+		probes := []int64{probe}
+		for _, s := range splits {
+			// Keys exactly at, just below, and just above every split.
+			probes = append(probes, s)
+			if s > MinKey+1 {
+				probes = append(probes, s-1)
+			}
+			if s < MaxKey-1 {
+				probes = append(probes, s+1)
+			}
+		}
+		for _, k := range probes {
+			got := tab.indexOf(k)
+			want := linearIndexOf(splits, k)
+			if got != want {
+				t.Fatalf("indexOf(%d) over %v = %d, oracle %d", k, splits, got, want)
+			}
+			if lo := tab.lowOf(got); k < lo {
+				t.Fatalf("key %d below lowOf(%d)=%d over %v", k, got, lo, splits)
+			}
+			if hi := tab.highOf(got); k >= hi {
+				t.Fatalf("key %d at/above highOf(%d)=%d over %v", k, got, hi, splits)
+			}
+		}
+	})
+}
+
+// FuzzFloorCeilingAtBoundaries builds a real sharded map from fuzz-derived
+// splits, populates both neighbors of every boundary, and cross-checks
+// Floor/Ceiling — the operations that must walk across shards — against a
+// sorted-slice oracle, probing exactly at, below, and above each split.
+func FuzzFloorCeilingAtBoundaries(f *testing.F) {
+	f.Add([]byte{2, 50, 0, 0, 0, 0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0, 0, 75, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		splits, probe, ok := fuzzSplits(data)
+		if !ok || len(splits) > 8 {
+			return
+		}
+		s, err := New[int64](tinyCfg(), splits)
+		if err != nil {
+			t.Fatalf("New(%v): %v", splits, err)
+		}
+		present := make(map[int64]bool)
+		ins := func(k int64) {
+			if k <= MinKey || k >= MaxKey || present[k] {
+				return
+			}
+			v := k
+			s.Upsert(k, &v)
+			present[k] = true
+		}
+		for _, sp := range splits {
+			ins(sp - 1)
+			ins(sp)
+			ins(sp + 1)
+		}
+		ins(probe)
+		keys := make([]int64, 0, len(present))
+		for k := range present {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		oracleFloor := func(k int64) (int64, bool) {
+			i := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+			if i == 0 {
+				return 0, false
+			}
+			return keys[i-1], true
+		}
+		oracleCeiling := func(k int64) (int64, bool) {
+			i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+			if i == len(keys) {
+				return 0, false
+			}
+			return keys[i], true
+		}
+
+		probes := []int64{probe}
+		for _, sp := range splits {
+			probes = append(probes, sp)
+			if sp > MinKey+1 {
+				probes = append(probes, sp-1)
+			}
+			if sp < MaxKey-1 {
+				probes = append(probes, sp+1)
+			}
+		}
+		for _, k := range probes {
+			if fk, fv, ok := s.Floor(k); true {
+				wk, wok := oracleFloor(k)
+				if ok != wok || (ok && (fk != wk || *fv != wk)) {
+					t.Fatalf("Floor(%d) over %v = (%d,%t), oracle (%d,%t)", k, splits, fk, ok, wk, wok)
+				}
+			}
+			if ck, cv, ok := s.Ceiling(k); true {
+				wk, wok := oracleCeiling(k)
+				if ok != wok || (ok && (ck != wk || *cv != wk)) {
+					t.Fatalf("Ceiling(%d) over %v = (%d,%t), oracle (%d,%t)", k, splits, ck, ok, wk, wok)
+				}
+			}
+		}
+		mustCheck(t, s)
+	})
+}

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Writer gate: the quiescence mechanism rebalancing needs. Every write
+// operation loads the boundary table and then commits into the map that
+// table routes to; a migration that swaps the table must therefore know when
+// every write still holding the PREVIOUS table has finished, or an in-flight
+// write could land in a source shard after its range was copied out — a lost
+// update. The gate is an RCU-flavored, generation-stamped reference count:
+//
+//   - A writer enters the gate (one striped atomic increment into the slot
+//     of the current generation), loads the table, commits, and exits (one
+//     striped decrement of the same slot).
+//   - The migrator publishes the sealed table, flips the generation, and
+//     waits for the retired generation's slot to drain to zero. Writers that
+//     entered the retired slot before the flip finish normally and are
+//     waited for; writers that race the flip re-check the generation after
+//     incrementing and retry into the new slot without touching the table,
+//     so a zero-sum observation proves no pre-flip table reference remains.
+//
+// Readers never enter the gate: a read through a stale table targets a map
+// that was authoritative for its keys at some instant inside the read's own
+// execution window (sources stop changing at the drain and only the swap
+// makes the copies live), so point reads stay linearizable with no gate
+// cost. See DESIGN.md §13 for the full argument.
+//
+// Counters are striped by key across cache-line-padded cells: the gate costs
+// a write two uncontended atomic adds and two generation loads, and the
+// drain sums the stripes.
+
+// gateStripes is the stripe count of each generation slot; a power of two.
+const gateStripes = 32
+
+// padCell is a cache-line-padded atomic counter cell.
+type padCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// stripeOf maps a key to its gate/load stripe: the top bits of a SplitMix
+// multiply, so adjacent keys spread across stripes.
+func stripeOf(k int64) uint32 {
+	return uint32((uint64(k)*0x9e3779b97f4a7c15)>>58) & (gateStripes - 1)
+}
+
+// writerGate is the two-generation striped reference count. The zero value
+// is ready to use.
+type writerGate struct {
+	gen   atomic.Uint64
+	slots [2][gateStripes]padCell
+}
+
+// enter counts the caller into the current generation and returns it. The
+// caller must load the boundary table AFTER enter returns and call exit with
+// the returned generation when its write completes.
+func (g *writerGate) enter(stripe uint32) uint64 {
+	for {
+		gen := g.gen.Load()
+		c := &g.slots[gen&1][stripe]
+		c.n.Add(1)
+		// Re-check after the increment: if a migration flipped the
+		// generation in between, this increment landed in (or raced into)
+		// a slot the migrator may already be draining — undo and retry so
+		// drained slots only ever count writers that entered pre-flip.
+		if g.gen.Load() == gen {
+			return gen
+		}
+		c.n.Add(-1)
+	}
+}
+
+// exit removes the caller from the generation it entered under.
+func (g *writerGate) exit(gen uint64, stripe uint32) {
+	g.slots[gen&1][stripe].n.Add(-1)
+}
+
+// flipDrain retires the current generation and blocks until every writer
+// counted in it has exited: on return, no write that loaded the boundary
+// table before the flip is still in flight. Only one drain may run at a
+// time (migrations are serialized by the caller); draining the retired slot
+// to zero before returning is what makes its reuse two flips later safe.
+func (g *writerGate) flipDrain() {
+	old := g.gen.Add(1) - 1
+	slot := &g.slots[old&1]
+	for spins := 0; ; spins++ {
+		var sum int64
+		for i := range slot {
+			sum += slot[i].n.Load()
+		}
+		if sum == 0 {
+			return
+		}
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// loadStripes is the stripe count of each shard's op counter.
+const loadStripes = 8
+
+// shardLoad counts operations routed to one shard, striped by key so the
+// always-on accounting does not become a contention point on hot shards.
+// One shardLoad per shard lives in each boundary table; a fresh table (every
+// publication) starts from zero, so totals read as "ops since this table
+// landed" — exactly the window the skew observer wants.
+type shardLoad struct {
+	stripes [loadStripes]padCell
+}
+
+// inc counts one operation on key k.
+func (l *shardLoad) inc(k int64) {
+	l.stripes[stripeOf(k)&(loadStripes-1)].n.Add(1)
+}
+
+// add counts n operations attributed to key k's stripe (batch parts).
+func (l *shardLoad) add(k int64, n int64) {
+	l.stripes[stripeOf(k)&(loadStripes-1)].n.Add(n)
+}
+
+// total sums the stripes.
+func (l *shardLoad) total() int64 {
+	var sum int64
+	for i := range l.stripes {
+		sum += l.stripes[i].n.Load()
+	}
+	return sum
+}

@@ -9,8 +9,13 @@ import "skipvector/internal/core"
 // concurrent use; open one per goroutine (the sharded map itself remains
 // fully concurrent).
 //
-// A Handle pins the boundary table it was opened against, so its routing is
-// stable for its whole lifetime even across a concurrent rebalance swap.
+// A Handle caches the boundary table but REBINDS when a rebalance publishes
+// a new one: every operation compares the cached table against the current
+// pointer and, on a swap, re-keys its per-shard sessions to the new table —
+// sessions over shards the migration did not touch survive with their search
+// fingers intact; sessions over replaced shards are closed. Routing through
+// a retired table would silently write into a frozen, unreferenced source
+// map, so this check is what keeps handle writes linearizable across swaps.
 type Handle[V any] struct {
 	t      *table[V]
 	s      *Sharded[V]
@@ -33,6 +38,37 @@ func (h *Handle[V]) Close() {
 	}
 }
 
+// rebind refreshes the cached table if a rebalance swapped it, carrying the
+// open per-shard sessions of every map that survives into the new table
+// (same *core.Map, possibly at a new index) and closing the sessions of maps
+// the migration retired. Swaps are rare, so the quadratic carry-over scan is
+// irrelevant; the common case is one pointer compare.
+func (h *Handle[V]) rebind() *table[V] {
+	cur := h.s.tab.Load()
+	if cur == h.t {
+		return cur
+	}
+	old := h.shards
+	oldMaps := h.t.maps
+	h.shards = make([]*core.Handle[V], len(cur.maps))
+	for i, m := range cur.maps {
+		for j, om := range oldMaps {
+			if om == m && old[j] != nil {
+				h.shards[i] = old[j]
+				old[j] = nil
+				break
+			}
+		}
+	}
+	for _, sh := range old {
+		if sh != nil {
+			sh.Close()
+		}
+	}
+	h.t = cur
+	return cur
+}
+
 // at returns the pinned session for shard i, opening it on first use: a
 // caller whose keys stay inside one shard never pays for contexts in the
 // others.
@@ -43,52 +79,105 @@ func (h *Handle[V]) at(i int) *core.Handle[V] {
 	return h.shards[i]
 }
 
+// writeEnter is Sharded.writeEnter for handle writes: gate in, rebind, park
+// if k is sealed. The caller must exit the gate right after the shard write.
+func (h *Handle[V]) writeEnter(k int64) (i int, gen uint64, stripe uint32) {
+	stripe = stripeOf(k)
+	for {
+		gen = h.s.gate.enter(stripe)
+		t := h.rebind()
+		if t.sealCovers(k) {
+			h.s.gate.exit(gen, stripe)
+			h.s.sealWaits.Add(1)
+			<-t.swapped
+			continue
+		}
+		i = t.indexOf(k)
+		t.load[i].inc(k)
+		return
+	}
+}
+
 // Lookup is Sharded.Lookup through the pinned sessions.
 func (h *Handle[V]) Lookup(k int64) (*V, bool) {
-	return h.at(h.t.indexOf(k)).Lookup(k)
+	t := h.rebind()
+	i := t.indexOf(k)
+	t.load[i].inc(k)
+	return h.at(i).Lookup(k)
 }
 
 // Contains is Sharded.Contains through the pinned sessions.
 func (h *Handle[V]) Contains(k int64) bool {
-	return h.at(h.t.indexOf(k)).Contains(k)
+	t := h.rebind()
+	i := t.indexOf(k)
+	t.load[i].inc(k)
+	return h.at(i).Contains(k)
 }
 
 // Insert is Sharded.Insert through the pinned sessions.
 func (h *Handle[V]) Insert(k int64, v *V) bool {
-	return h.at(h.t.indexOf(k)).Insert(k, v)
+	i, gen, stripe := h.writeEnter(k)
+	ok := h.at(i).Insert(k, v)
+	h.s.gate.exit(gen, stripe)
+	return ok
 }
 
 // Upsert is Sharded.Upsert through the pinned sessions.
 func (h *Handle[V]) Upsert(k int64, v *V) bool {
-	return h.at(h.t.indexOf(k)).Upsert(k, v)
+	i, gen, stripe := h.writeEnter(k)
+	ok := h.at(i).Upsert(k, v)
+	h.s.gate.exit(gen, stripe)
+	return ok
 }
 
 // Remove is Sharded.Remove through the pinned sessions.
 func (h *Handle[V]) Remove(k int64) bool {
-	return h.at(h.t.indexOf(k)).Remove(k)
+	i, gen, stripe := h.writeEnter(k)
+	ok := h.at(i).Remove(k)
+	h.s.gate.exit(gen, stripe)
+	return ok
 }
 
 // ApplyBatch is Sharded.ApplyBatch with the single-shard fast path routed
 // through the pinned session (finger-resumable); batches that span shards
 // fall back to the map-level fan-out, whose parallel parts cannot share one
-// session anyway.
+// session anyway. Like every write it runs gated and parks on a sealed
+// range. The seal always covers whole shard intervals of the table carrying
+// it, so for a single-shard batch checking one key decides for all.
 func (h *Handle[V]) ApplyBatch(ops []core.BatchOp[V]) []core.BatchResult {
 	if len(ops) == 0 {
 		return nil
 	}
-	si := h.t.indexOf(ops[0].Key)
-	for i := 1; i < len(ops); i++ {
-		if h.t.indexOf(ops[i].Key) != si {
-			return h.s.ApplyBatch(ops)
+	stripe := stripeOf(ops[0].Key)
+	for {
+		gen := h.s.gate.enter(stripe)
+		t := h.rebind()
+		si := t.indexOf(ops[0].Key)
+		for i := 1; i < len(ops); i++ {
+			if t.indexOf(ops[i].Key) != si {
+				h.s.gate.exit(gen, stripe)
+				return h.s.ApplyBatch(ops)
+			}
 		}
+		if t.sealCovers(ops[0].Key) {
+			h.s.gate.exit(gen, stripe)
+			h.s.sealWaits.Add(1)
+			<-t.swapped
+			continue
+		}
+		h.s.singleBatch.Add(1)
+		t.load[si].add(ops[0].Key, int64(len(ops)))
+		res := h.at(si).ApplyBatch(ops)
+		h.s.gate.exit(gen, stripe)
+		return res
 	}
-	h.s.singleBatch.Add(1)
-	return h.at(si).ApplyBatch(ops)
 }
 
 // Floor is Sharded.Floor through the pinned sessions.
 func (h *Handle[V]) Floor(k int64) (int64, *V, bool) {
-	for i := h.t.indexOf(k); i >= 0; i-- {
+	t := h.rebind()
+	t.load[t.indexOf(k)].inc(k)
+	for i := t.indexOf(k); i >= 0; i-- {
 		if fk, v, ok := h.at(i).Floor(k); ok {
 			return fk, v, true
 		}
@@ -98,7 +187,9 @@ func (h *Handle[V]) Floor(k int64) (int64, *V, bool) {
 
 // Ceiling is Sharded.Ceiling through the pinned sessions.
 func (h *Handle[V]) Ceiling(k int64) (int64, *V, bool) {
-	for i := h.t.indexOf(k); i < len(h.t.maps); i++ {
+	t := h.rebind()
+	t.load[t.indexOf(k)].inc(k)
+	for i := t.indexOf(k); i < len(t.maps); i++ {
 		if ck, v, ok := h.at(i).Ceiling(k); ok {
 			return ck, v, true
 		}
@@ -108,7 +199,8 @@ func (h *Handle[V]) Ceiling(k int64) (int64, *V, bool) {
 
 // First returns the smallest key across all shards.
 func (h *Handle[V]) First() (int64, *V, bool) {
-	for i := range h.t.maps {
+	t := h.rebind()
+	for i := range t.maps {
 		if k, v, ok := h.at(i).First(); ok {
 			return k, v, true
 		}
@@ -118,7 +210,8 @@ func (h *Handle[V]) First() (int64, *V, bool) {
 
 // Last returns the largest key across all shards.
 func (h *Handle[V]) Last() (int64, *V, bool) {
-	for i := len(h.t.maps) - 1; i >= 0; i-- {
+	t := h.rebind()
+	for i := len(t.maps) - 1; i >= 0; i-- {
 		if k, v, ok := h.at(i).Last(); ok {
 			return k, v, true
 		}

@@ -11,6 +11,13 @@ package shard
 // operation — a writer can commit into shard i+1 after the segment over shard
 // i completed and still be observed. Callers needing an atomic range must
 // keep it inside one shard (or use a single-shard map).
+//
+// The boundary table is reloaded at every segment boundary, so a scan that
+// straddles a rebalance swap finishes against the new table: the remaining
+// window re-routes to the freshly-migrated shards instead of draining a
+// frozen source map. A swap landing mid-segment is harmless — the segment's
+// source map holds every key it owned at the drain, and stitched iteration
+// makes no cross-segment atomicity promise anyway.
 
 // RangeQuery streams every k→v with lo ≤ k ≤ hi to fn in ascending key
 // order, stopping early when fn returns false.
@@ -18,13 +25,13 @@ func (s *Sharded[V]) RangeQuery(lo, hi int64, fn func(k int64, v *V) bool) {
 	if lo > hi {
 		return
 	}
-	t := s.tab.Load()
 	stopped := false
-	for i := t.indexOf(lo); i < len(t.maps) && !stopped; i++ {
-		slo, shi := clamp(t, i, lo, hi)
-		if slo > shi {
-			break // window exhausted before this shard's interval
-		}
+	next := lo
+	for next <= hi && !stopped {
+		t := s.tab.Load()
+		i := t.indexOf(next)
+		slo, shi := clamp(t, i, next, hi)
+		t.load[i].inc(next)
 		t.maps[i].RangeQuery(slo, shi, func(k int64, v *V) bool {
 			if !fn(k, v) {
 				stopped = true
@@ -32,24 +39,45 @@ func (s *Sharded[V]) RangeQuery(lo, hi int64, fn func(k int64, v *V) bool) {
 			}
 			return true
 		})
+		if i >= len(t.splits) {
+			break // last shard: window exhausted
+		}
+		next = t.splits[i]
 	}
 }
 
 // RangeUpdate applies fn to every k→v with lo ≤ k ≤ hi in ascending key
 // order, storing each returned pointer, and reports how many entries were
 // visited. Updates are atomic per shard segment, not across the whole window.
+// Each segment is a gated write: a concurrent migration drains it, and a
+// segment over a sealed shard parks until the successor table lands (the
+// seal covers whole shard intervals, so one covers-check decides for the
+// segment).
 func (s *Sharded[V]) RangeUpdate(lo, hi int64, fn func(k int64, v *V) *V) int {
 	if lo > hi {
 		return 0
 	}
-	t := s.tab.Load()
 	count := 0
-	for i := t.indexOf(lo); i < len(t.maps); i++ {
-		slo, shi := clamp(t, i, lo, hi)
-		if slo > shi {
+	next := lo
+	for next <= hi {
+		stripe := stripeOf(next)
+		gen := s.gate.enter(stripe)
+		t := s.tab.Load()
+		if t.sealCovers(next) {
+			s.gate.exit(gen, stripe)
+			s.sealWaits.Add(1)
+			<-t.swapped
+			continue
+		}
+		i := t.indexOf(next)
+		slo, shi := clamp(t, i, next, hi)
+		t.load[i].inc(next)
+		count += t.maps[i].RangeUpdate(slo, shi, fn)
+		s.gate.exit(gen, stripe)
+		if i >= len(t.splits) {
 			break
 		}
-		count += t.maps[i].RangeUpdate(slo, shi, fn)
+		next = t.splits[i]
 	}
 	return count
 }

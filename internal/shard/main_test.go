@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"skipvector/internal/chaos"
+)
+
+// seedOverride is the SV_SEED campaign override, read once in TestMain:
+// zero means "use each harness's default seed". Campaign failures log the
+// effective seed, so any stress/chaos/lincheck failure in this package
+// replays with SV_SEED=<logged value>.
+var seedOverride uint64
+
+func TestMain(m *testing.M) {
+	seedOverride = chaos.SeedFromEnv(0)
+	os.Exit(m.Run())
+}
+
+// campaignSeed returns the seed a stress campaign should run with: the
+// SV_SEED override when set, otherwise def. Pair with seedNote in failure
+// messages.
+func campaignSeed(def uint64) uint64 {
+	if seedOverride != 0 {
+		return seedOverride
+	}
+	return def
+}
+
+// seedNote renders the reproduction hint campaign failures must carry.
+func seedNote(seed uint64) string {
+	return "(rerun with SV_SEED=" + strconv.FormatUint(seed, 10) + ")"
+}

@@ -21,6 +21,20 @@ func (s *Sharded[V]) initMetrics() {
 		"Per-shard commit units issued by fanned-out batches.", s.fanoutParts.Load)
 	r.CounterFunc("sv_shard_batch_single_total",
 		"ApplyBatch calls resolved entirely inside one shard.", s.singleBatch.Load)
+	r.CounterFunc("sv_shard_rebalance_splits_total",
+		"Completed shard-split migrations.", s.rebSplits.Load)
+	r.CounterFunc("sv_shard_rebalance_merges_total",
+		"Completed shard-merge migrations.", s.rebMerges.Load)
+	r.CounterFunc("sv_shard_rebalance_aborts_total",
+		"Migrations aborted mid-flight and rolled back.", s.rebAborts.Load)
+	r.CounterFunc("sv_shard_rebalance_keys_copied_total",
+		"Pairs pre-copied through pinned snapshots by completed migrations.", s.rebCopied.Load)
+	r.CounterFunc("sv_shard_rebalance_reconciled_total",
+		"Sealed-window reconcile fixes (delta upserts plus deletes).", s.rebReconciled.Load)
+	r.CounterFunc("sv_shard_rebalance_seal_ns_total",
+		"Total nanoseconds the per-range write redirect was in force.", s.rebSealNanos.Load)
+	r.CounterFunc("sv_shard_rebalance_seal_waits_total",
+		"Writes that parked on a sealed (migrating) key range.", s.sealWaits.Load)
 }
 
 // Metrics rolls the router registry, every shard's labeled registry, and the

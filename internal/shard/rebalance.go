@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"skipvector/internal/core"
+)
+
+// Skew observer and planner. The per-table load counters (gate.go) record
+// how many operations routed to each shard since the current boundary table
+// was published; the planner compares each shard's share against the fair
+// share and proposes at most one boundary move per pass — split the hottest
+// shard at its occupancy median, or merge the coldest adjacent pair. One
+// move per pass keeps the feedback loop stable: every publication resets
+// the counters, so the next pass observes the new boundaries from scratch.
+
+// RebalanceConfig tunes the skew observer. The zero value is usable; every
+// field falls back to the documented default.
+type RebalanceConfig struct {
+	// Interval is the background observation tick (StartRebalancer only).
+	// Default 200ms.
+	Interval time.Duration
+
+	// HotFactor splits a shard when its op share exceeds HotFactor × the
+	// fair share (1/shards). Default 2.0.
+	HotFactor float64
+
+	// ColdFactor merges an adjacent pair when their combined op share is
+	// below ColdFactor × the fair share — reclaiming shards the hot side
+	// can split again. Default 0.5. Merging never runs below 2 shards.
+	ColdFactor float64
+
+	// MinOps is the minimum total ops in the observation window before the
+	// planner acts; smaller windows are noise. Default 1024.
+	MinOps int64
+
+	// MinKeys is the minimum occupancy of a shard worth splitting — a hot
+	// single key cannot be spread by a boundary. Default 16.
+	MinKeys int
+
+	// MaxShards caps the shard count splits may reach. Default (0) is the
+	// package MaxShards limit.
+	MaxShards int
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.HotFactor <= 1 {
+		c.HotFactor = 2.0
+	}
+	if c.ColdFactor <= 0 {
+		c.ColdFactor = 0.5
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 1024
+	}
+	if c.MinKeys <= 0 {
+		c.MinKeys = 16
+	}
+	if c.MaxShards <= 0 || c.MaxShards > MaxShards {
+		c.MaxShards = MaxShards
+	}
+	return c
+}
+
+// Rebalance runs one observe→plan→migrate pass: at most one split or merge,
+// chosen from the current table's load counters. It returns the migration
+// report and whether a move was attempted. Safe to call concurrently with
+// all map operations; concurrent passes serialize on the migration lock.
+func (s *Sharded[V]) Rebalance(cfg RebalanceConfig) (Migration, bool, error) {
+	cfg = cfg.withDefaults()
+	t := s.tab.Load()
+	n := len(t.maps)
+	stats := make([]ShardLoadStat, n)
+	var total int64
+	for i := range t.maps {
+		stats[i] = ShardLoadStat{Ops: t.load[i].total(), Keys: t.maps[i].Len()}
+		total += stats[i].Ops
+	}
+	if total < cfg.MinOps {
+		return Migration{}, false, nil
+	}
+	fair := float64(total) / float64(n)
+
+	// Hottest shard first: a split spreads its traffic over two maps.
+	hot := -1
+	for i, st := range stats {
+		if float64(st.Ops) > cfg.HotFactor*fair && st.Keys >= cfg.MinKeys {
+			if hot < 0 || st.Ops > stats[hot].Ops {
+				hot = i
+			}
+		}
+	}
+	if hot >= 0 {
+		if n+1 <= cfg.MaxShards {
+			key, ok := medianKey(t.maps[hot], t.lowOf(hot), t.highOf(hot))
+			if ok {
+				m, err := s.SplitShard(hot, key)
+				return m, true, err
+			}
+		}
+		// A hot shard we cannot split (cap reached, or nothing to split
+		// at): do NOT fall through to a merge. Under a heavy-tailed load
+		// the hottest shard stays above HotFactor × fair no matter how
+		// often it splits, so merging a cold pair here would only open a
+		// slot for the next pass to split again — a perpetual split/merge
+		// oscillation copying the hot range back and forth. Idling is the
+		// stable answer; cold pairs are reclaimed once nothing is hot.
+		return Migration{}, false, nil
+	}
+
+	// Nothing hot: reclaim by merging the coldest adjacent pair.
+	if n >= 2 {
+		cold := -1
+		var coldOps int64
+		for i := 0; i+1 < n; i++ {
+			pair := stats[i].Ops + stats[i+1].Ops
+			if cold < 0 || pair < coldOps {
+				cold, coldOps = i, pair
+			}
+		}
+		if cold >= 0 && float64(coldOps) < cfg.ColdFactor*fair {
+			m, err := s.MergeShards(cold)
+			return m, true, err
+		}
+	}
+	return Migration{}, false, nil
+}
+
+// medianKey returns the occupancy-median key of m's interval [lo, hi) — the
+// key with half the shard's entries below it — or false when the shard is
+// too small to split (under two keys). The returned key is strictly inside
+// the interval: the median index is ≥1, so at least one key sorts below it.
+func medianKey[V any](m *core.Map[V], lo, hi int64) (int64, bool) {
+	n := m.Len()
+	if n < 2 {
+		return 0, false
+	}
+	target := n / 2
+	var key int64
+	found := false
+	idx := 0
+	m.RangeQuery(lo, hi-1, func(k int64, _ *V) bool {
+		if idx == target {
+			key, found = k, true
+			return false
+		}
+		idx++
+		return true
+	})
+	return key, found
+}
+
+// rebalancer is the background skew-observer loop.
+type rebalancer struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRebalancer runs Rebalance(cfg) every cfg.Interval in a background
+// goroutine until StopRebalancer. Starting twice is an error.
+func (s *Sharded[V]) StartRebalancer(cfg RebalanceConfig) error {
+	cfg = cfg.withDefaults()
+	s.rebMu.Lock()
+	defer s.rebMu.Unlock()
+	if s.reb != nil {
+		return fmt.Errorf("shard: rebalancer already running")
+	}
+	r := &rebalancer{stop: make(chan struct{}), done: make(chan struct{})}
+	s.reb = r
+	go func() {
+		defer close(r.done)
+		tick := time.NewTicker(cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				s.Rebalance(cfg) //nolint:errcheck // best-effort background pass
+			}
+		}
+	}()
+	return nil
+}
+
+// StopRebalancer stops the background loop and waits for it to exit (any
+// in-flight migration completes first). No-op when not running.
+func (s *Sharded[V]) StopRebalancer() {
+	s.rebMu.Lock()
+	r := s.reb
+	s.reb = nil
+	s.rebMu.Unlock()
+	if r != nil {
+		close(r.stop)
+		<-r.done
+	}
+}

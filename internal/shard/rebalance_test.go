@@ -1,0 +1,561 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collect returns the map's full content as key→value.
+func collect(s *Sharded[int64]) map[int64]int64 {
+	out := make(map[int64]int64)
+	s.Ascend(func(k int64, v *int64) bool {
+		out[k] = *v
+		return true
+	})
+	return out
+}
+
+func TestSplitShardBasic(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	for k := int64(0); k < 200; k += 3 {
+		v := k * 10
+		s.Upsert(k, &v)
+	}
+	before := collect(s)
+
+	rep, err := s.SplitShard(0, 50)
+	if err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	if rep.Aborted || rep.Step != "done" || rep.Kind != "split" {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+	if got := s.Bounds(); len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Fatalf("bounds after split: %v", got)
+	}
+	if s.ShardCount() != 3 {
+		t.Fatalf("shard count %d", s.ShardCount())
+	}
+	// rep.Copied covered exactly shard 0's keys (0,3,...,99 → 34 keys).
+	if rep.Copied != 34 {
+		t.Fatalf("copied %d keys, want 34", rep.Copied)
+	}
+	after := collect(s)
+	if len(after) != len(before) {
+		t.Fatalf("content size changed: %d → %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("key %d: %d → %d", k, v, after[k])
+		}
+	}
+	mustCheck(t, s)
+	if s.ShardFor(49) != 0 || s.ShardFor(50) != 1 || s.ShardFor(100) != 2 {
+		t.Fatalf("routing after split: %d %d %d", s.ShardFor(49), s.ShardFor(50), s.ShardFor(100))
+	}
+}
+
+func TestMergeShardsBasic(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{50, 100})
+	for k := int64(0); k < 150; k += 2 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	before := collect(s)
+
+	rep, err := s.MergeShards(0)
+	if err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	if rep.Aborted || rep.Step != "done" || rep.Kind != "merge" {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+	if got := s.Bounds(); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("bounds after merge: %v", got)
+	}
+	after := collect(s)
+	if len(after) != len(before) {
+		t.Fatalf("content size changed: %d → %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("key %d: %d → %d", k, v, after[k])
+		}
+	}
+	mustCheck(t, s)
+}
+
+func TestMigrationInvalidArgs(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{50})
+	cases := []func() error{
+		func() error { _, err := s.SplitShard(-1, 10); return err },
+		func() error { _, err := s.SplitShard(2, 10); return err },
+		func() error { _, err := s.SplitShard(0, 50); return err },  // == highOf(0)
+		func() error { _, err := s.SplitShard(1, 50); return err },  // == lowOf(1)
+		func() error { _, err := s.SplitShard(0, MinKey); return err },
+		func() error { _, err := s.MergeShards(-1); return err },
+		func() error { _, err := s.MergeShards(1); return err }, // no right neighbor
+	}
+	for i, f := range cases {
+		if err := f(); err == nil {
+			t.Errorf("case %d: invalid migration accepted", i)
+		}
+	}
+	// Valid boundary keys at the extremes of the interval are accepted.
+	if _, err := s.SplitShard(0, 49); err != nil {
+		t.Fatalf("split at interval edge: %v", err)
+	}
+	mustCheck(t, s)
+}
+
+// TestMigrationReconcileCarriesDelta mutates the migrating range between
+// the snapshot pin and the seal — exactly the window whose writes only the
+// reconcile diff can carry — and proves all three delta shapes (update,
+// insert, delete after the snapshot) land in the destinations.
+func TestMigrationReconcileCarriesDelta(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	for k := int64(0); k < 100; k += 5 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	mutated := false
+	s.snapObserver = func(k int64, _ *int64) {
+		if mutated {
+			return
+		}
+		mutated = true
+		// These run mid-copy: the snapshots are pinned (so the copy won't
+		// see them) and the seal is not yet published (so they land in the
+		// source). Reconcile must carry all three.
+		nv := int64(9999)
+		s.Upsert(10, &nv) // changed value → pointer differs from baseline
+		iv := int64(7777)
+		s.Upsert(13, &iv) // key the snapshot never had
+		s.Remove(20)      // key the snapshot did have
+	}
+	rep, err := s.SplitShard(0, 50)
+	s.snapObserver = nil
+	if err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	if !mutated {
+		t.Fatal("snapshot observer never ran (empty copy?)")
+	}
+	if rep.Reconciled < 3 {
+		t.Fatalf("reconciled %d fixes, want ≥3", rep.Reconciled)
+	}
+	if v, ok := s.Lookup(10); !ok || *v != 9999 {
+		t.Fatalf("updated key lost: %v %v", v, ok)
+	}
+	if v, ok := s.Lookup(13); !ok || *v != 7777 {
+		t.Fatalf("inserted key lost: %v %v", v, ok)
+	}
+	if _, ok := s.Lookup(20); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	mustCheck(t, s)
+}
+
+// TestSealParksWriters proves the write redirect: a write into the sealed
+// range issued during the sealed window must not complete until the
+// successor table is published, and must land in the destination.
+func TestSealParksWriters(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	for k := int64(0); k < 100; k += 10 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	wrote := make(chan struct{})
+	var sawParked atomic.Bool
+	s.testHookSealed = func() {
+		// Runs after the drain: the range is frozen. Launch a writer into
+		// it and give it time to park; it must not complete while sealed.
+		go func() {
+			v := int64(4242)
+			s.Upsert(42, &v)
+			close(wrote)
+		}()
+		deadline := time.After(200 * time.Millisecond)
+		for s.sealWaits.Load() == 0 {
+			select {
+			case <-wrote:
+				t.Error("sealed write completed during the sealed window")
+				return
+			case <-deadline:
+				// The writer may legitimately still be scheduling; the
+				// post-publish assertions below still hold either way.
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		sawParked.Store(true)
+		select {
+		case <-wrote:
+			t.Error("write completed while parked on the seal")
+		default:
+		}
+	}
+	rep, err := s.SplitShard(0, 50)
+	s.testHookSealed = nil
+	if err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	if rep.Aborted {
+		t.Fatalf("unexpected abort: %+v", rep)
+	}
+	select {
+	case <-wrote:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked writer never released after publish")
+	}
+	if !sawParked.Load() {
+		t.Skip("writer goroutine never reached the seal during the window (scheduling)")
+	}
+	if v, ok := s.Lookup(42); !ok || *v != 4242 {
+		t.Fatalf("parked write lost: %v %v", v, ok)
+	}
+	if s.sealWaits.Load() == 0 {
+		t.Fatal("seal wait not counted")
+	}
+	mustCheck(t, s)
+}
+
+// TestHandleRebindAcrossMigration opens a session, splits and merges under
+// it, and proves the handle keeps routing correctly — a handle that pinned
+// the old table would write into a frozen, unreferenced source map.
+func TestHandleRebindAcrossMigration(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	h := s.NewHandle()
+	defer h.Close()
+	for k := int64(0); k < 200; k += 10 {
+		v := k
+		if !h.Upsert(k, &v) {
+			t.Fatalf("Upsert(%d) found existing key", k)
+		}
+	}
+	if _, err := s.SplitShard(0, 50); err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	// Writes through the stale handle must land in the NEW maps.
+	v := int64(1)
+	h.Upsert(10, &v)
+	if got, ok := s.Lookup(10); !ok || *got != 1 {
+		t.Fatalf("handle write after split lost: %v %v", got, ok)
+	}
+	if got, ok := h.Lookup(110); !ok || *got != 110 {
+		t.Fatalf("handle read after split: %v %v", got, ok)
+	}
+	if _, err := s.MergeShards(1); err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	v2 := int64(2)
+	h.Upsert(60, &v2)
+	if got, ok := s.Lookup(60); !ok || *got != 2 {
+		t.Fatalf("handle write after merge lost: %v %v", got, ok)
+	}
+	if k, fv, ok := h.Floor(65); !ok || k != 60 || *fv != 2 {
+		t.Fatalf("handle Floor after merge: %d %v %v", k, fv, ok)
+	}
+	mustCheck(t, s)
+}
+
+// TestRebalancePlannerSplitsHotShard drives a skewed load — every op on
+// shard 0 — and checks one Rebalance pass splits it at the occupancy
+// median.
+func TestRebalancePlannerSplitsHotShard(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{1000, 2000, 3000})
+	for k := int64(0); k < 4000; k += 10 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	// Fresh window (migration-free so far): hammer shard 0 only.
+	for i := 0; i < 3000; i++ {
+		s.Lookup(int64(i % 1000))
+	}
+	cfg := RebalanceConfig{MinOps: 100, HotFactor: 2, MinKeys: 4}
+	rep, acted, err := s.Rebalance(cfg)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if !acted || rep.Kind != "split" || rep.Aborted {
+		t.Fatalf("planner did not split the hot shard: acted=%t rep=%+v stats=%+v",
+			acted, rep, s.LoadStats())
+	}
+	b := s.Bounds()
+	if len(b) != 4 {
+		t.Fatalf("bounds after planner split: %v", b)
+	}
+	// The new split is the hot shard's occupancy median: strictly inside
+	// (MinKey, 1000), near 500 for the uniform 100-key population.
+	if b[0] <= 0 || b[0] >= 1000 {
+		t.Fatalf("split key %d outside hot shard's interval", b[0])
+	}
+	if b[0] < 300 || b[0] > 700 {
+		t.Fatalf("split key %d far from occupancy median ~500", b[0])
+	}
+	mustCheck(t, s)
+}
+
+// TestRebalancePlannerMergesColdPair drives load everywhere except two
+// adjacent shards and checks the planner reclaims them.
+func TestRebalancePlannerMergesColdPair(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100, 200, 300})
+	for k := int64(0); k < 400; k += 5 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	// Shards 0 and 3 hot (evenly), shards 1 and 2 cold.
+	for i := 0; i < 2000; i++ {
+		s.Lookup(int64(i % 100))
+		s.Lookup(300 + int64(i%100))
+	}
+	cfg := RebalanceConfig{MinOps: 100, HotFactor: 1000 /* never split */, ColdFactor: 0.5}
+	rep, acted, err := s.Rebalance(cfg)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if !acted || rep.Kind != "merge" {
+		t.Fatalf("planner did not merge: acted=%t rep=%+v stats=%+v", acted, rep, s.LoadStats())
+	}
+	if got := s.Bounds(); len(got) != 2 {
+		t.Fatalf("bounds after merge: %v", got)
+	}
+	mustCheck(t, s)
+}
+
+func TestRebalanceBelowMinOpsDoesNothing(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	put(t, s, 1, 2, 3)
+	_, acted, err := s.Rebalance(RebalanceConfig{MinOps: 1 << 30})
+	if err != nil || acted {
+		t.Fatalf("acted=%t err=%v on a quiet window", acted, err)
+	}
+}
+
+// TestLoadStatsWindowResets proves the observer window: counters count ops
+// since the current table landed and reset at every publication.
+func TestLoadStatsWindowResets(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	for k := int64(0); k < 200; k += 10 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	base := s.LoadStats()
+	if base[0].Ops == 0 || base[1].Ops == 0 {
+		t.Fatalf("writes not counted: %+v", base)
+	}
+	if base[0].Keys != 10 || base[1].Keys != 10 {
+		t.Fatalf("occupancy wrong: %+v", base)
+	}
+	if _, err := s.SplitShard(0, 50); err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	fresh := s.LoadStats()
+	if len(fresh) != 3 {
+		t.Fatalf("stats arity after split: %+v", fresh)
+	}
+	for i, st := range fresh {
+		if st.Ops != 0 {
+			t.Fatalf("shard %d window not reset: %+v", i, fresh)
+		}
+	}
+}
+
+func TestStartStopRebalancer(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{1000})
+	for k := int64(0); k < 1000; k += 5 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	cfg := RebalanceConfig{Interval: 2 * time.Millisecond, MinOps: 50, HotFactor: 1.5, MinKeys: 4}
+	if err := s.StartRebalancer(cfg); err != nil {
+		t.Fatalf("StartRebalancer: %v", err)
+	}
+	if err := s.StartRebalancer(cfg); err == nil {
+		t.Fatal("double StartRebalancer accepted")
+	}
+	// Skewed load on shard 0; the background observer must split it.
+	deadline := time.After(5 * time.Second)
+	for s.ShardCount() < 3 {
+		for i := 0; i < 500; i++ {
+			s.Lookup(int64(i))
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("rebalancer never split under skew: stats=%+v", s.LoadStats())
+		default:
+		}
+	}
+	s.StopRebalancer()
+	s.StopRebalancer() // idempotent
+	if s.rebSplits.Load() == 0 {
+		t.Fatal("split not counted")
+	}
+	mustCheck(t, s)
+}
+
+// TestRebalanceMetricsExposed checks the new counter families render in the
+// combined exposition and move after a migration.
+func TestRebalanceMetricsExposed(t *testing.T) {
+	s := newTest(t, tinyCfg(), []int64{100})
+	for k := int64(0); k < 200; k += 10 {
+		v := k
+		s.Upsert(k, &v)
+	}
+	if _, err := s.SplitShard(0, 50); err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	if _, err := s.MergeShards(0); err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	var b strings.Builder
+	if err := s.WriteMetrics(&b); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sv_shard_rebalance_splits_total 1",
+		"sv_shard_rebalance_merges_total 1",
+		"sv_shard_rebalance_aborts_total 0",
+		"sv_shard_rebalance_keys_copied_total",
+		"sv_shard_rebalance_reconciled_total",
+		"sv_shard_rebalance_seal_ns_total",
+		"sv_shard_rebalance_seal_waits_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Migration-built shards carry fresh identity labels: the split made
+	// shards 2 and 3, the merge made shard 4.
+	if !strings.Contains(out, `shard="4"`) {
+		t.Error("migration-built shard label missing")
+	}
+}
+
+// TestMigrationLostUpdateCampaign is the zero-lost-ops proof: workers own
+// disjoint key slices and read back every write immediately (owner-keyed
+// read-your-writes — any write landing in a frozen source or a swallowed
+// delete fails the very next read), while the main goroutine drives
+// continuous splits and merges through the full protocol. The final state
+// is compared against each worker's own record.
+func TestMigrationLostUpdateCampaign(t *testing.T) {
+	const (
+		workers  = 4
+		perSlice = 256
+	)
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	seed := campaignSeed(0x9eba1a)
+	s := newTest(t, tinyCfg(), []int64{256, 512, 768})
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+		fail atomic.Value // first worker error, if any
+	)
+	finals := make([]map[int64]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(w)))
+			base := int64(w) * perSlice
+			mine := make(map[int64]int64)
+			for i := 0; !stop.Load(); i++ {
+				k := base + int64(rng.Intn(perSlice))
+				switch rng.Intn(4) {
+				case 0: // remove + read-your-delete
+					_, had := mine[k]
+					got := s.Remove(k)
+					if got != had {
+						fail.Store(fmt.Errorf("worker %d: Remove(%d)=%t, owner state says %t %s", w, k, got, had, seedNote(seed)))
+						return
+					}
+					delete(mine, k)
+					if _, ok := s.Lookup(k); ok {
+						fail.Store(fmt.Errorf("worker %d: key %d visible after own delete %s", w, k, seedNote(seed)))
+						return
+					}
+				default: // upsert + read-your-write
+					v := int64(i)
+					_, had := mine[k]
+					inserted := s.Upsert(k, &v)
+					if inserted == had {
+						fail.Store(fmt.Errorf("worker %d: Upsert(%d) inserted=%t, owner state says present=%t %s", w, k, inserted, had, seedNote(seed)))
+						return
+					}
+					mine[k] = v
+					got, ok := s.Lookup(k)
+					if !ok || *got != v {
+						fail.Store(fmt.Errorf("worker %d: lost own write %d=%d (got %v,%t) %s", w, k, v, got, ok, seedNote(seed)))
+						return
+					}
+				}
+			}
+			finals[w] = mine
+		}(w)
+	}
+
+	// Migration driver: alternate splits of the currently-largest shard and
+	// merges of the first pair, exercising every protocol step under fire.
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5eed))
+	for r := 0; r < rounds; r++ {
+		if s.ShardCount() < 6 && rng.Intn(2) == 0 {
+			stats := s.LoadStats()
+			big, bigKeys := 0, -1
+			for i, st := range stats {
+				if st.Keys > bigKeys {
+					big, bigKeys = i, st.Keys
+				}
+			}
+			t0 := s.tab.Load()
+			if key, ok := medianKey(t0.maps[big], t0.lowOf(big), t0.highOf(big)); ok {
+				if _, err := s.SplitShard(big, key); err != nil {
+					t.Fatalf("round %d SplitShard: %v %s", r, err, seedNote(seed))
+				}
+			}
+		} else if s.ShardCount() > 1 {
+			if _, err := s.MergeShards(rng.Intn(s.ShardCount() - 1)); err != nil {
+				t.Fatalf("round %d MergeShards: %v %s", r, err, seedNote(seed))
+			}
+		}
+		if fail.Load() != nil {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final differential: the map's content is exactly the union of the
+	// workers' records — nothing lost, nothing resurrected.
+	got := collect(s)
+	want := make(map[int64]int64)
+	for _, m := range finals {
+		for k, v := range m {
+			want[k] = v
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("final size %d, want %d %s", len(got), len(want), seedNote(seed))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("final key %d = %d, want %d %s", k, got[k], v, seedNote(seed))
+		}
+	}
+	if s.rebSplits.Load()+s.rebMerges.Load() == 0 {
+		t.Fatalf("campaign ran no migrations %s", seedNote(seed))
+	}
+	mustCheck(t, s)
+}

@@ -11,19 +11,31 @@
 // parallel with an all-shards commit barrier; ordered iteration stitches
 // per-shard iterators back together at the boundaries, in key order.
 //
+// Boundaries are not fixed: the migrator (migrate.go) splits hot shards and
+// merges cold ones online, copying the affected key range into fresh maps
+// through pinned snapshots and swapping a new table in, while the skew
+// observer (rebalance.go) decides when from per-shard op counters and
+// occupancy. Readers never block during a migration; writes into the
+// migrating range are redirected (briefly parked) across the swap, and every
+// write is counted through a generation gate (gate.go) so the migrator can
+// drain in-flight writes before it captures the sealed range's final state.
+// Point operations stay linearizable across a table swap.
+//
 // Consistency model: point operations and per-shard batch units are
-// linearizable (each shard is a fully linearizable map). Operations that
-// span shards — ApplyBatch across boundaries, RangeQuery/Ascend windows
-// crossing a split key — are sequences of per-shard linearizable segments,
-// not one atomic operation: a concurrent reader can observe a state between
-// two shards' commits. Callers that need cross-shard atomicity must either
-// align their batches to shard boundaries or route everything to one shard.
+// linearizable (each shard is a fully linearizable map), including across
+// rebalance swaps. Operations that span shards — ApplyBatch across
+// boundaries, RangeQuery/Ascend windows crossing a split key — are sequences
+// of per-shard linearizable segments, not one atomic operation: a concurrent
+// reader can observe a state between two shards' commits. Callers that need
+// cross-shard atomicity must either align their batches to shard boundaries
+// or route everything to one shard.
 package shard
 
 import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"skipvector/internal/core"
@@ -41,10 +53,18 @@ const (
 // (registries, sentinel chunks, hazard domains) dominate any win.
 const MaxShards = 1024
 
-// table is the router's immutable state: the boundary table and the shard
-// maps it routes to. A table is never mutated after publication — rebalancing
-// builds a new table and swaps the pointer — so readers need no
-// synchronization beyond the one atomic load.
+// sealRange marks the half-open key interval a migration is moving. Writes
+// routed inside it park until the successor table is published; reads are
+// unaffected (the source maps stay authoritative until the swap).
+type sealRange struct {
+	lo, hi int64
+}
+
+// table is the router's immutable state: the boundary table, the shard maps
+// it routes to, and the per-shard op counters for this table's lifetime. A
+// table is never mutated after publication — rebalancing builds a new table
+// and swaps the pointer — so readers need no synchronization beyond the one
+// atomic load.
 type table[V any] struct {
 	// splits are the interior boundary keys, strictly ascending, one fewer
 	// than the shard count: shard 0 owns keys < splits[0], shard i owns
@@ -52,6 +72,32 @@ type table[V any] struct {
 	// split. The whole user key space is always covered.
 	splits []int64
 	maps   []*core.Map[V]
+
+	// load counts ops routed to each shard since this table was published
+	// (striped, always on). Fresh per table, so the skew observer's window
+	// resets at every swap.
+	load []shardLoad
+
+	// seal, when non-nil, is the key range a migration is moving out of this
+	// table's shards. Immutable, like everything else here: sealing is done
+	// by publishing a successor table that carries the seal.
+	seal *sealRange
+
+	// swapped is closed when a successor table is published. Writers parked
+	// on a sealed range block on it; publish closes it exactly once.
+	swapped chan struct{}
+}
+
+// newTable allocates a table over the given splits and maps with fresh load
+// counters and swap channel.
+func newTable[V any](splits []int64, maps []*core.Map[V], seal *sealRange) *table[V] {
+	return &table[V]{
+		splits:  splits,
+		maps:    maps,
+		load:    make([]shardLoad, len(maps)),
+		seal:    seal,
+		swapped: make(chan struct{}),
+	}
 }
 
 // indexOf resolves a key to its owning shard: the number of split keys ≤ k.
@@ -76,11 +122,45 @@ func (t *table[V]) lowOf(i int) int64 {
 	return t.splits[i-1]
 }
 
+// highOf returns the exclusive upper bound of shard i's interval (MaxKey for
+// the last shard).
+func (t *table[V]) highOf(i int) int64 {
+	if i < len(t.splits) {
+		return t.splits[i]
+	}
+	return MaxKey
+}
+
+// sealCovers reports whether k lies in this table's sealed (migrating)
+// range.
+func (t *table[V]) sealCovers(k int64) bool {
+	return t.seal != nil && k >= t.seal.lo && k < t.seal.hi
+}
+
 // Sharded is a key-range-partitioned ordered map: N core maps behind an
 // atomically-swapped boundary table. All methods are safe for concurrent use
 // by any number of goroutines.
 type Sharded[V any] struct {
 	tab atomic.Pointer[table[V]]
+
+	// gate counts in-flight writes per table generation so a migration can
+	// drain them before capturing a sealed range's final state.
+	gate writerGate
+
+	// cfg is the per-shard configuration New was given; migrations build
+	// replacement shards from it.
+	cfg core.Config
+
+	// nextID hands out metric-label identities for shard maps. The initial
+	// maps take 0..n-1; migration-built replacements continue the sequence,
+	// so the shard label names a map's identity, not its current position —
+	// two live maps never share a label even across rebalances.
+	mig    sync.Mutex // serializes migrations (one boundary move at a time)
+	nextID atomic.Int64
+
+	// rebMu guards the background rebalancer's lifecycle.
+	rebMu sync.Mutex
+	reb   *rebalancer
 
 	// Router metrics: always-on atomics collected func-backed at exposition
 	// time, so the hot path pays nothing for them.
@@ -88,7 +168,27 @@ type Sharded[V any] struct {
 	fanouts     atomic.Int64 // ApplyBatch calls that spanned >1 shard
 	fanoutParts atomic.Int64 // per-shard commit units issued by fan-out batches
 	singleBatch atomic.Int64 // ApplyBatch calls resolved entirely by one shard
-	reg         *telemetry.Registry
+
+	// Rebalance metrics (migrate.go / rebalance.go).
+	rebSplits     atomic.Int64 // completed split migrations
+	rebMerges     atomic.Int64 // completed merge migrations
+	rebAborts     atomic.Int64 // migrations aborted mid-flight (all rolled back)
+	rebCopied     atomic.Int64 // pairs pre-copied through pinned snapshots
+	rebReconciled atomic.Int64 // sealed-window fixes (delta upserts + deletes)
+	rebSealNanos  atomic.Int64 // total ns the write redirect was in force
+	sealWaits     atomic.Int64 // writes that parked on a sealed range
+
+	// testHookSealed, when set, runs after the writer drain completes and
+	// before the sealed reconciliation — the window in which the migrating
+	// range is frozen. Test instrumentation only; never set in production.
+	testHookSealed func()
+
+	// snapObserver, when set, receives every pair a migration pre-copies
+	// from its pinned snapshots (test instrumentation for the lincheck
+	// rebalance histories). Guarded by mig.
+	snapObserver func(k int64, v *V)
+
+	reg *telemetry.Registry
 }
 
 // EvenBounds returns the interior split keys that partition [lo, hi) into
@@ -110,9 +210,10 @@ func EvenBounds(lo, hi int64, shards int) []int64 {
 // New builds a sharded map of len(splits)+1 shards, each an independent core
 // map configured from cfg. splits are the interior boundary keys, strictly
 // ascending and strictly inside the user key space (see EvenBounds). Each
-// shard's registry is labeled shard="i" (on top of any labels already in
-// cfg.MetricLabels) so the combined Metrics view exports distinct series, and
-// each shard's height RNG stream is decorrelated from its siblings.
+// shard's registry is labeled with a unique shard id (on top of any labels
+// already in cfg.MetricLabels) so the combined Metrics view exports distinct
+// series, and each shard's height RNG stream is decorrelated from its
+// siblings.
 func New[V any](cfg core.Config, splits []int64) (*Sharded[V], error) {
 	n := len(splits) + 1
 	if n > MaxShards {
@@ -126,36 +227,70 @@ func New[V any](cfg core.Config, splits []int64) (*Sharded[V], error) {
 			return nil, fmt.Errorf("shard: splits not strictly ascending at index %d", i)
 		}
 	}
-	t := &table[V]{
-		splits: append([]int64(nil), splits...),
-		maps:   make([]*core.Map[V], n),
-	}
+	s := &Sharded[V]{cfg: cfg}
+	maps := make([]*core.Map[V], n)
 	for i := 0; i < n; i++ {
-		c := cfg
-		c.MetricLabels = append(append([]string(nil), cfg.MetricLabels...), "shard", strconv.Itoa(i))
-		if c.Seed == 0 {
-			c.Seed = core.DefaultConfig().Seed
-		}
-		c.Seed += uint64(i) * 0x9e3779b97f4a7c15
-		m, err := core.NewMap[V](c)
+		m, err := s.newShardMap()
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		t.maps[i] = m
+		maps[i] = m
 	}
-	s := &Sharded[V]{}
-	s.publish(t)
+	s.publish(newTable(append([]int64(nil), splits...), maps, nil))
 	s.initMetrics()
 	return s, nil
 }
 
-// publish swaps in a new boundary table. The table must be fully built — it
-// is visible to every concurrent operation the instant the pointer lands.
-// Construction publishes the initial table; rebalancing (building a new table
-// with migrated shards and swapping it in) reuses the same protocol.
+// newShardMap builds one shard map from the stored configuration with the
+// next unique metric-label id and a decorrelated height RNG stream. Used at
+// construction and by migrations for replacement shards.
+func (s *Sharded[V]) newShardMap() (*core.Map[V], error) {
+	id := s.nextID.Add(1) - 1
+	c := s.cfg
+	c.MetricLabels = append(append([]string(nil), s.cfg.MetricLabels...),
+		"shard", strconv.FormatInt(id, 10))
+	if c.Seed == 0 {
+		c.Seed = core.DefaultConfig().Seed
+	}
+	c.Seed += uint64(id) * 0x9e3779b97f4a7c15
+	return core.NewMap[V](c)
+}
+
+// publish swaps in a new boundary table and wakes every writer parked on the
+// predecessor. The table must be fully built — it is visible to every
+// concurrent operation the instant the pointer lands. Construction publishes
+// the initial table; migrations publish the sealed table and then the
+// rebalanced one through the same protocol.
 func (s *Sharded[V]) publish(t *table[V]) {
-	s.tab.Store(t)
+	prev := s.tab.Swap(t)
 	s.swaps.Add(1)
+	if prev != nil {
+		close(prev.swapped)
+	}
+}
+
+// writeEnter begins a gated write to key k: it enters the writer gate, loads
+// the current table, and resolves k's shard, parking until the next swap if
+// k lies in a sealed (migrating) range. On return the caller holds a gate
+// reference — a concurrent migration's drain waits for it — and MUST call
+// s.gate.exit(gen, stripe) as soon as the shard-map write returns.
+func (s *Sharded[V]) writeEnter(k int64) (t *table[V], i int, gen uint64, stripe uint32) {
+	stripe = stripeOf(k)
+	for {
+		gen = s.gate.enter(stripe)
+		t = s.tab.Load()
+		if t.sealCovers(k) {
+			// Exit before parking: the migrator's drain must not wait on a
+			// writer that is itself waiting for the migrator's swap.
+			s.gate.exit(gen, stripe)
+			s.sealWaits.Add(1)
+			<-t.swapped
+			continue
+		}
+		i = t.indexOf(k)
+		t.load[i].inc(k)
+		return t, i, gen, stripe
+	}
 }
 
 // ShardCount returns the number of shards in the current table.
@@ -171,32 +306,42 @@ func (s *Sharded[V]) ShardFor(k int64) int { return s.tab.Load().indexOf(k) }
 
 // Insert adds k→v to the owning shard; false when k is already present.
 func (s *Sharded[V]) Insert(k int64, v *V) bool {
-	t := s.tab.Load()
-	return t.maps[t.indexOf(k)].Insert(k, v)
+	t, i, gen, stripe := s.writeEnter(k)
+	ok := t.maps[i].Insert(k, v)
+	s.gate.exit(gen, stripe)
+	return ok
 }
 
 // Upsert adds or replaces k→v; true when the key was newly inserted.
 func (s *Sharded[V]) Upsert(k int64, v *V) bool {
-	t := s.tab.Load()
-	return t.maps[t.indexOf(k)].Upsert(k, v)
+	t, i, gen, stripe := s.writeEnter(k)
+	ok := t.maps[i].Upsert(k, v)
+	s.gate.exit(gen, stripe)
+	return ok
 }
 
 // Lookup returns the value mapped to k.
 func (s *Sharded[V]) Lookup(k int64) (*V, bool) {
 	t := s.tab.Load()
-	return t.maps[t.indexOf(k)].Lookup(k)
+	i := t.indexOf(k)
+	t.load[i].inc(k)
+	return t.maps[i].Lookup(k)
 }
 
 // Contains reports whether k is present.
 func (s *Sharded[V]) Contains(k int64) bool {
 	t := s.tab.Load()
-	return t.maps[t.indexOf(k)].Contains(k)
+	i := t.indexOf(k)
+	t.load[i].inc(k)
+	return t.maps[i].Contains(k)
 }
 
 // Remove deletes the mapping for k, reporting whether it was present.
 func (s *Sharded[V]) Remove(k int64) bool {
-	t := s.tab.Load()
-	return t.maps[t.indexOf(k)].Remove(k)
+	t, i, gen, stripe := s.writeEnter(k)
+	ok := t.maps[i].Remove(k)
+	s.gate.exit(gen, stripe)
+	return ok
 }
 
 // Len sums the shard lengths. Like the core map's Len it is linearizable
@@ -213,7 +358,9 @@ func (s *Sharded[V]) Len() int {
 // shard first and walking left across emptier shards as needed.
 func (s *Sharded[V]) Floor(k int64) (int64, *V, bool) {
 	t := s.tab.Load()
-	for i := t.indexOf(k); i >= 0; i-- {
+	start := t.indexOf(k)
+	t.load[start].inc(k)
+	for i := start; i >= 0; i-- {
 		if fk, v, ok := t.maps[i].Floor(k); ok {
 			return fk, v, true
 		}
@@ -225,7 +372,9 @@ func (s *Sharded[V]) Floor(k int64) (int64, *V, bool) {
 // owning shard.
 func (s *Sharded[V]) Ceiling(k int64) (int64, *V, bool) {
 	t := s.tab.Load()
-	for i := t.indexOf(k); i < len(t.maps); i++ {
+	start := t.indexOf(k)
+	t.load[start].inc(k)
+	for i := start; i < len(t.maps); i++ {
 		if ck, v, ok := t.maps[i].Ceiling(k); ok {
 			return ck, v, true
 		}
@@ -273,6 +422,25 @@ func (s *Sharded[V]) ShardStats() []core.StatsSnapshot {
 	return out
 }
 
+// ShardLoadStat is one shard's standing in the current boundary table: ops
+// routed to it since the table was published and its current occupancy.
+type ShardLoadStat struct {
+	Ops  int64
+	Keys int
+}
+
+// LoadStats samples each shard's op count (since the current table landed)
+// and occupancy, indexed by shard. This is the skew observer's input; the
+// counters are always on.
+func (s *Sharded[V]) LoadStats() []ShardLoadStat {
+	t := s.tab.Load()
+	out := make([]ShardLoadStat, len(t.maps))
+	for i := range t.maps {
+		out[i] = ShardLoadStat{Ops: t.load[i].total(), Keys: t.maps[i].Len()}
+	}
+	return out
+}
+
 // FlushRetired forces a reclamation scan on every shard (tests, teardown).
 func (s *Sharded[V]) FlushRetired() {
 	for _, m := range s.tab.Load().maps {
@@ -293,10 +461,7 @@ func (s *Sharded[V]) CheckInvariants() error {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 		lo := t.lowOf(i)
-		hi := int64(MaxKey)
-		if i < len(t.splits) {
-			hi = t.splits[i]
-		}
+		hi := t.highOf(i)
 		for _, k := range m.Keys() {
 			if k < lo || k >= hi {
 				return fmt.Errorf("shard %d holds key %d outside [%d,%d)", i, k, lo, hi)
